@@ -1,0 +1,32 @@
+"""Shared benchmark-harness helpers.
+
+Each benchmark regenerates one of the paper's tables/figures, prints
+its rows (run pytest with ``-s`` to see them inline) and archives the
+text into ``benchmarks/results/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentSetup
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Trimmed protocol so the full harness stays laptop-friendly; raise
+#: trace_count/invocations toward (9, 3) for the paper's full protocol.
+QUICK_SETUP = ExperimentSetup(trace_count=3, invocations=1)
+
+
+def report(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def quick_setup() -> ExperimentSetup:
+    return QUICK_SETUP

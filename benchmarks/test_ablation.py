@@ -1,0 +1,46 @@
+"""Design-space ablations (beyond the paper's figures; see DESIGN.md)."""
+
+from conftest import report
+from repro.experiments import ablation
+
+
+def test_memo_table_size(benchmark, quick_setup):
+    result = benchmark.pedantic(
+        ablation.run_memo_sweep, args=(quick_setup,), rounds=1, iterations=1
+    )
+    report("ablation_memo", result.as_text())
+    # Paper footnote 5: larger tables give only modest additional gains.
+    assert result.speedup(16) > result.speedup(4) > 1.0
+    gain_16_to_64 = result.speedup(64) / result.speedup(16)
+    gain_64_to_256 = result.speedup(256) / result.speedup(64)
+    assert gain_64_to_256 < gain_16_to_64  # diminishing returns
+
+
+def test_capacitor_size(benchmark, quick_setup):
+    result = benchmark.pedantic(
+        ablation.run_capacitor_sweep, rounds=1, iterations=1
+    )
+    report("ablation_capacitor", result.as_text())
+    # More outages per input -> skim points pay off more.
+    first, last = result.rows[0], result.rows[-1]
+    assert last.speedup_4bit > first.speedup_4bit
+    assert last.speedup_8bit >= first.speedup_8bit
+
+
+def test_watchdog_period(benchmark, quick_setup):
+    result = benchmark.pedantic(
+        ablation.run_watchdog_sweep, rounds=1, iterations=1
+    )
+    report("ablation_watchdog", result.as_text())
+    # Every setting completes; there is a finite best period.
+    assert all(r.median_wall_ms > 0 for r in result.rows)
+    assert 0 < result.best_fraction() <= 1.0
+
+
+def test_runtime_comparison(benchmark, quick_setup):
+    result = benchmark.pedantic(
+        ablation.run_runtime_comparison, rounds=1, iterations=1
+    )
+    report("ablation_runtimes", result.as_text())
+    # WN helps on every forward-progress runtime.
+    assert all(speedup > 1.0 for _, speedup in result.rows.values())

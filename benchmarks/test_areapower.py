@@ -1,0 +1,15 @@
+"""Section V-D: area/power analysis."""
+
+from conftest import report
+from repro.experiments import areapower
+
+
+def test_areapower(benchmark):
+    result = benchmark.pedantic(areapower.run, rounds=1, iterations=1)
+    report("areapower", result.as_text())
+    # The paper's claims hold in the parametric gate model.
+    assert result.fmax_far_above_system_clock()
+    assert result.mux_area_negligible()
+    assert result.memo_table_cheaper_than_multiplier()
+    assert 0.5 <= result.fmax_ghz <= 2.0  # same magnitude as 1.12 GHz
+    assert 20.0 <= result.memo_table_pct_of_multiplier <= 70.0

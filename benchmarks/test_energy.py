@@ -1,0 +1,24 @@
+"""Energy breakdown per input across runtimes (extension analysis)."""
+
+from conftest import report
+from repro.experiments import energy
+
+
+def test_energy_breakdown(benchmark):
+    result = benchmark.pedantic(energy.run, rounds=1, iterations=1)
+    report("energy_breakdown", result.as_text())
+    for runtime in ("clank", "hibernus", "nvp"):
+        precise = result.row(runtime, "matadd")
+        wn = result.row(runtime, "matadd_swv8p")
+        # WN's skim cuts total cycles per input on every runtime.
+        assert wn.total_cycles < precise.total_cycles
+    # The NVP neither checkpoints nor re-executes; it pays the backup tax.
+    nvp = result.row("nvp", "matadd")
+    assert nvp.checkpoint_cycles == 0
+    assert nvp.reexecuted_cycles == 0
+    assert nvp.backup_overhead_pct > 0
+    # Hibernus trades re-execution for snapshot cost.
+    hib = result.row("hibernus", "matadd")
+    clank = result.row("clank", "matadd")
+    assert hib.reexecuted_cycles <= clank.reexecuted_cycles
+    assert hib.checkpoint_cycles + hib.restore_cycles > clank.checkpoint_cycles + clank.restore_cycles

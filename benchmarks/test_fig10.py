@@ -1,0 +1,12 @@
+"""Figure 10: speedup/quality on the volatile (Clank) processor."""
+
+from conftest import report
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, quick_setup):
+    result = benchmark.pedantic(fig10.run, args=(quick_setup,), rounds=1, iterations=1)
+    report("fig10", result.as_text("Figure 10: volatile (Clank) processor"))
+    assert result.average_speedup_8bit > 1.0
+    assert result.average_speedup_4bit > result.average_speedup_8bit
+    assert result.average_error_8bit < result.average_error_4bit

@@ -1,0 +1,11 @@
+"""Figure 11: speedup/quality on the non-volatile processor."""
+
+from conftest import report
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, quick_setup):
+    result = benchmark.pedantic(fig11.run, args=(quick_setup,), rounds=1, iterations=1)
+    report("fig11", result.as_text("Figure 11: non-volatile processor"))
+    assert result.average_speedup_8bit > 1.0
+    assert result.average_speedup_4bit > result.average_speedup_8bit

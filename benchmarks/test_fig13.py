@@ -1,0 +1,16 @@
+"""Figure 13: memoization + zero skipping (Conv2d)."""
+
+from conftest import report
+from repro.experiments import fig13
+
+
+def test_fig13(benchmark, quick_setup):
+    result = benchmark.pedantic(fig13.run, args=(quick_setup,), rounds=1, iterations=1)
+    report("fig13", result.as_text())
+    # Memoization helps every configuration...
+    for mode, bits in (("precise", None), ("swp", 8), ("swp", 4)):
+        assert result.speedup(mode, bits, True) > result.speedup(mode, bits, False)
+    # ...and smaller subwords benefit more (higher hit/zero rates).
+    gain4 = result.speedup("swp", 4, True) / result.speedup("swp", 4, False)
+    gain_precise = result.speedup("precise", None, True) / result.speedup("precise", None, False)
+    assert gain4 > gain_precise

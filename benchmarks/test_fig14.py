@@ -1,0 +1,17 @@
+"""Figure 14: provisioned vs unprovisioned vectorized addition."""
+
+from conftest import report
+from repro.experiments import fig14
+
+
+def test_fig14(benchmark, quick_setup):
+    result = benchmark.pedantic(fig14.run, args=(quick_setup,), rounds=1, iterations=1)
+    report("fig14", result.as_text())
+    # Provisioned reaches the precise result; unprovisioned plateaus.
+    assert result.provisioned.final_error < 1e-9
+    assert result.unprovisioned.final_error > 0.01
+    # Unprovisioned's first output is not later than provisioned's.
+    assert (
+        result.unprovisioned.first_output_runtime
+        <= result.provisioned.first_output_runtime + 1e-9
+    )

@@ -1,0 +1,19 @@
+"""Figure 15: small subwords (1/2/3/4-bit SWP)."""
+
+from conftest import report
+from repro.experiments import fig15
+
+
+def test_fig15(benchmark, quick_setup):
+    result = benchmark.pedantic(fig15.run, args=(quick_setup,), rounds=1, iterations=1)
+    report("fig15", result.as_text())
+    rows = sorted(result.rows, key=lambda r: r.bits)
+    errors = [r.error for r in rows]
+    # Smaller subwords have higher error...
+    assert errors == sorted(errors, reverse=True)
+    # ...and the narrowest subword yields the greatest speedup (3-bit
+    # breaks strict monotonicity in our codegen: misaligned subword
+    # extraction costs extra shift/mask operations).
+    assert rows[0].speedup == max(r.speedup for r in rows)
+    # Paper: ~2.26x speedup for the 1-bit earliest output.
+    assert rows[0].speedup > 1.5

@@ -1,0 +1,15 @@
+"""Figure 16: earliest Conv2d outputs with small subwords."""
+
+from conftest import report
+from repro.experiments import fig16
+from repro.core import nrmse
+
+
+def test_fig16(benchmark, quick_setup):
+    result = benchmark.pedantic(fig16.run, args=(quick_setup,), rounds=1, iterations=1)
+    report("fig16", result.as_text())
+    # Every output is complete (better than a missing half-image) and
+    # quality improves with subword size.
+    errors = [result.errors[bits] for bits in sorted(result.errors)]
+    assert errors == sorted(errors, reverse=True)
+    assert result.errors[4] < 15.0

@@ -1,0 +1,13 @@
+"""Figure 17: WN vs input sampling for Var."""
+
+from conftest import report
+from repro.experiments import fig17
+
+
+def test_fig17(benchmark):
+    result = benchmark.pedantic(fig17.run, rounds=1, iterations=1)
+    report("fig17", result.as_text())
+    # WN processes more datasets than input sampling and its values
+    # track the reference's peaks and troughs.
+    assert result.wn_coverage > result.sampled_coverage
+    assert result.wn_mean_error_pct < 20.0

@@ -1,0 +1,18 @@
+"""Figure 2: Conv2d under a truncated energy budget."""
+
+from conftest import report
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark, quick_setup):
+    result = benchmark.pedantic(fig2.run, args=(quick_setup,), rounds=1, iterations=1)
+    report("fig2", result.as_text())
+    # The truncated baseline is incomplete and far worse than the
+    # complete anytime output at the same budget.
+    assert result.truncated_error > 1.5 * result.anytime_error
+    assert result.anytime_error < 40.0
+    # The anytime output is complete: no all-zero (never-written) rows.
+    side = result.width
+    last_row = result.anytime[-side:]
+    assert any(v > 0 for v in last_row)
+    assert all(v == 0 for v in result.truncated_baseline[-side:])

@@ -1,0 +1,19 @@
+"""Figure 3: glucose monitoring, input sampling vs anytime."""
+
+from conftest import report
+from repro.experiments import fig3
+from repro.workloads import glucose
+
+
+def test_fig3(benchmark):
+    result = benchmark.pedantic(fig3.run, rounds=1, iterations=1)
+    report("fig3", result.as_text())
+    clinical_dips = glucose.detected_dips(result.clinical_times, result.clinical_values)
+    assert len(clinical_dips) >= 2
+    # Anytime covers more readings and catches both dip regions;
+    # sampling misses dips.
+    assert result.anytime.coverage > result.sampling.coverage
+    assert len(result.anytime.detected_dips) >= 2
+    assert len(result.sampling.detected_dips) < len(result.anytime.detected_dips)
+    # Paper: ~7.5% average error, within the ISO +/-20% band.
+    assert result.anytime.mean_error_pct < 20.0

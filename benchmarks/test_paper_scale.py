@@ -1,0 +1,37 @@
+"""Opt-in paper-scale smoke run.
+
+The default harness uses reduced problem shapes (pure-Python cycle
+simulation); set REPRO_PAPER_SCALE=1 to run one benchmark at the
+paper's shapes (64x64 MatMul ~ 9M cycles; takes a few minutes).
+"""
+
+import os
+
+import pytest
+
+from conftest import report
+from repro.core import AnytimeConfig, AnytimeKernel, nrmse
+from repro.workloads import make_workload
+
+paper_scale = pytest.mark.skipif(
+    not os.environ.get("REPRO_PAPER_SCALE"),
+    reason="set REPRO_PAPER_SCALE=1 to run paper-scale shapes",
+)
+
+
+@paper_scale
+def test_matmul_paper_scale(benchmark):
+    workload = make_workload("MatMul", "paper")
+    reference = workload.decoded_reference()
+
+    def run():
+        kernel = AnytimeKernel(workload.kernel, AnytimeConfig(mode="swp", bits=8))
+        return kernel.run(workload.inputs)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    error = nrmse(reference, workload.decode(result.outputs))
+    report(
+        "paper_scale_matmul",
+        f"MatMul 64x64 SWP-8: {result.cycles} cycles, NRMSE {error:.2e}%",
+    )
+    assert error < 1e-9

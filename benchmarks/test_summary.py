@@ -1,0 +1,11 @@
+"""Section V-F / abstract: headline average speedups."""
+
+from conftest import report
+from repro.experiments import ExperimentSetup, summary
+
+
+def test_summary(benchmark):
+    setup = ExperimentSetup(trace_count=2, invocations=1)
+    result = benchmark.pedantic(summary.run, args=(setup,), rounds=1, iterations=1)
+    report("summary", result.as_text())
+    assert result.qualitative_claims_hold()

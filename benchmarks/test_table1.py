@@ -1,0 +1,17 @@
+"""Table I: benchmark characterization."""
+
+from conftest import report
+from repro.experiments import table1
+
+
+def test_table1(benchmark, quick_setup):
+    result = benchmark.pedantic(table1.run, args=(quick_setup,), rounds=1, iterations=1)
+    report("table1", result.as_text())
+    names = [r.name for r in result.rows]
+    assert names == ["Conv2d", "MatMul", "MatAdd", "Home", "Var", "NetMotion"]
+    # Conv2d is the heaviest kernel, as in the paper.
+    runtimes = {r.name: r.runtime_ms for r in result.rows}
+    assert runtimes["Conv2d"] == max(runtimes.values())
+    # WN-amenable instruction shares are in the paper's 5-25% band.
+    for row in result.rows:
+        assert 3.0 < row.insn_pct < 30.0, row

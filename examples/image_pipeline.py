@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Battery-free camera pipeline (paper Figures 2 and 16).
+
+A WISPCam-style RFID camera filters captured frames on harvested
+power. This example runs the Gaussian-filter kernel in three regimes
+and renders the outputs as ASCII art:
+
+* the precise result (unbounded energy);
+* a truncated precise run (power died halfway) — half an image;
+* anytime subword pipelining at several subword widths, each cut at its
+  first skim point — complete images of increasing fidelity.
+"""
+
+from repro.core import nrmse
+from repro.experiments import ExperimentSetup, build_anytime
+from repro.experiments.report import ascii_image
+from repro.workloads import make_workload
+
+
+def earliest_output(workload, bits):
+    """Decode the output at the first skim point of a <bits>-bit build."""
+    kernel = build_anytime(workload, "swp", bits)
+    cpu = kernel.make_cpu(workload.inputs)
+
+    def cut_power(target, cpu=cpu):
+        cpu.halted = True  # the outage arrives right at the skim point
+
+    cpu.skim_hook = cut_power
+    cpu.run()
+    return workload.decode(kernel.read_outputs(cpu)), cpu.stats.cycles
+
+
+def main() -> None:
+    workload = make_workload("Conv2d", "default")
+    side = workload.params["out_side"]
+
+    precise = build_anytime(workload, "precise")
+    full = precise.run(workload.inputs)
+    reference = workload.decode(full.outputs)
+    print(f"precise ({full.cycles} cycles):")
+    print(ascii_image(reference, side))
+
+    # Power dies halfway through the precise run: half an image.
+    cpu = precise.make_cpu(workload.inputs)
+    cpu.run_cycles(full.cycles // 2)
+    truncated = workload.decode(precise.read_outputs(cpu))
+    print(f"\ntruncated precise run ({full.cycles // 2} cycles, "
+          f"NRMSE {nrmse(reference, truncated):.1f}%):")
+    print(ascii_image(truncated, side))
+
+    for bits in (1, 2, 4, 8):
+        output, cycles = earliest_output(workload, bits)
+        error = nrmse(reference, output)
+        print(f"\n{bits}-bit anytime, earliest output "
+              f"({cycles} cycles, {cycles / full.cycles:.2f}x baseline, "
+              f"NRMSE {error:.1f}%):")
+        print(ascii_image(output, side))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Vibration-sensing with signed data (the library's signed extension).
+
+A structure-monitoring node measures signed vibration deltas (a geophone
+produces positive and negative swings around zero) and correlates them
+against a matched filter to detect events. The paper's kernels use
+non-negative fixed point; this library extends subword pipelining to
+two's complement: the most significant subword phase runs the signed
+``MUL_ASPS`` variant, so early outputs carry the correct sign and the
+final result is exact.
+"""
+
+import math
+
+import numpy as np
+
+from repro.compiler import (
+    Array,
+    BinOp,
+    Kernel,
+    Load,
+    Loop,
+    Pragma,
+    Store,
+    Var,
+)
+from repro.core import AnytimeConfig, AnytimeKernel
+from repro.isa import to_signed
+from repro.power import Capacitor, wifi_trace
+
+N = 128  # window length
+
+
+def correlation_kernel(bits: int) -> Kernel:
+    """C[i] = S[i] * W[i]: pointwise signed correlate against a template."""
+    return Kernel(
+        "seismic",
+        arrays={
+            "S": Array("S", N, 16, "input", pragma=Pragma("asp", bits), signed=True),
+            "W": Array("W", N, 16, "input", signed=True),
+            "C": Array("C", N, 32, "output", signed=True),
+        },
+        body=[
+            Loop("i", 0, N, [
+                Store("C", Var("i"),
+                      BinOp("*", Load("W", Var("i")), Load("S", Var("i"))),
+                      accumulate=True),
+            ]),
+        ],
+    )
+
+
+def make_inputs(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(N)
+    # Signed vibration: background noise + an event burst in the middle.
+    signal = rng.normal(0, 400, N)
+    burst = 12000 * np.exp(-((t - N / 2) ** 2) / 60.0) * np.sin(t * 1.1)
+    samples = np.clip(signal + burst, -32768, 32767).astype(int)
+    # Matched filter: the burst's shape.
+    template = np.clip(3000 * np.exp(-((t - N / 2) ** 2) / 60.0) * np.sin(t * 1.1),
+                       -32768, 32767).astype(int)
+    return (
+        {"S": [int(v) & 0xFFFF for v in samples],
+         "W": [int(v) & 0xFFFF for v in template]},
+        samples,
+        template,
+    )
+
+
+def score(outputs) -> float:
+    """Detection score: the correlation energy (sum of products)."""
+    return sum(to_signed(v) for v in outputs["C"]) / 1e6
+
+
+def main() -> None:
+    inputs, samples, template = make_inputs()
+    exact = float(np.dot(samples, template)) / 1e6
+
+    print(f"ground-truth correlation score: {exact:.2f}")
+    for bits in (8, 4):
+        kernel = AnytimeKernel(correlation_kernel(bits), AnytimeConfig(mode="swp", bits=bits))
+
+        # Earliest (most significant, signed) pass only:
+        cpu = kernel.make_cpu(inputs)
+        cpu.skim_hook = lambda target, cpu=cpu: setattr(cpu, "halted", True)
+        cycles_to_first = cpu.run()
+        early = score(kernel.read_outputs(cpu))
+
+        # Full anytime run: exact.
+        full = kernel.run(inputs)
+        final = score(full.outputs)
+        print(
+            f"{bits}-bit SWP: first signed output at {cycles_to_first} cycles "
+            f"-> score {early:.2f} (err {abs(early - exact) / abs(exact) * 100:.1f}%); "
+            f"converges to {final:.2f} in {full.cycles} cycles"
+        )
+        assert abs(final - exact) < 1e-9
+
+    # Under harvested power with skim points, the node reports the
+    # early signed score instead of stalling through outages.
+    kernel = AnytimeKernel(correlation_kernel(4), AnytimeConfig(mode="swp", bits=4))
+    run = kernel.run_intermittent(
+        inputs,
+        wifi_trace(duration_ms=3000, seed=9),
+        runtime="clank",
+        capacitor=Capacitor(capacitance_f=0.05e-6, v_initial=3.0, v_max=3.3),
+        watchdog_cycles=500,
+    )
+    print(
+        f"intermittent 4-bit: wall {run.result.wall_ms} ms, "
+        f"{run.result.outages} outages, skimmed: {run.result.skim_taken}, "
+        f"reported score {score(run.outputs):.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro: a reproduction of "The What's Next Intermittent Computing
+Architecture" (HPCA 2019).
+
+The library implements the paper's full stack:
+
+* :mod:`repro.isa` / :mod:`repro.sim` — the WN-extended M0+-like ISA and
+  a cycle-level simulator (iterative multiplier, lane-cut adder);
+* :mod:`repro.power` — energy-harvesting traces, capacitor, supply FSM;
+* :mod:`repro.runtime` — Clank-style checkpointing, NVP, skim points,
+  the intermittent executor and a sample-stream scheduler;
+* :mod:`repro.compiler` — the kernel IR, the pragma-driven anytime
+  passes (SWP, SWV) and a strength-reducing code generator;
+* :mod:`repro.core` — subword math, fixed point, quality metrics and
+  the high-level :class:`~repro.core.anytime.AnytimeKernel` API;
+* :mod:`repro.workloads` — the paper's six benchmarks + case studies;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import AnytimeKernel, AnytimeConfig
+    from repro.workloads import make_workload
+
+    workload = make_workload("Conv2d", "tiny")
+    kernel = AnytimeKernel(workload.kernel, AnytimeConfig(mode="swp", bits=8))
+    result = kernel.run(workload.inputs)
+"""
+
+from .core.anytime import AnytimeConfig, AnytimeKernel, IntermittentRun, KernelRun
+from .core.quality import QualityCurve, nrmse, psnr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnytimeConfig",
+    "AnytimeKernel",
+    "IntermittentRun",
+    "KernelRun",
+    "QualityCurve",
+    "nrmse",
+    "psnr",
+    "__version__",
+]

@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro list                 # available experiments
+    python -m repro run fig10            # run one experiment, print its table
+    python -m repro run all              # run everything (slow)
+    python -m repro bench Conv2d         # quick speedup check for one benchmark
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+
+def _print_result(name: str, result) -> None:
+    if hasattr(result, "as_text"):
+        try:
+            print(result.as_text())
+            return
+        except TypeError:
+            # Some results (fig10/fig11) take a title argument.
+            print(result.as_text(name))
+            return
+    print(result)
+
+
+def cmd_list(_args) -> int:
+    from .experiments import EXPERIMENTS
+
+    print("available experiments (python -m repro run <id>):")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .experiments import EXPERIMENTS, ExperimentSetup
+
+    setup = ExperimentSetup(
+        scale=args.scale, trace_count=args.traces, invocations=args.invocations
+    )
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try 'python -m repro list'",
+                  file=sys.stderr)
+            return 2
+        print(f"== {name} ==")
+        runner = EXPERIMENTS[name]
+        try:
+            result = runner(setup)
+        except TypeError:
+            result = runner()
+        _print_result(name, result)
+        print()
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .experiments import (
+        ExperimentSetup,
+        calibrate_environment,
+        measure_precise_cycles,
+        median_speedup,
+        run_benchmark,
+    )
+    from .workloads import BENCHMARKS, make_workload
+
+    if args.benchmark not in BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}; choose from {BENCHMARKS}",
+              file=sys.stderr)
+        return 2
+    setup = ExperimentSetup(
+        scale=args.scale, trace_count=args.traces, invocations=args.invocations
+    )
+    workload = make_workload(args.benchmark, setup.scale)
+    env = calibrate_environment(measure_precise_cycles(workload), setup)
+    reference = workload.decoded_reference()
+    baseline = run_benchmark(workload, "precise", None, args.runtime, setup, env, reference)
+    for bits in (8, 4):
+        wn = run_benchmark(workload, workload.technique, bits, args.runtime, setup, env, reference)
+        print(
+            f"{args.benchmark} {bits}-bit on {args.runtime}: "
+            f"{median_speedup(baseline, wn):.2f}x speedup, "
+            f"{wn.median_error:.2f}% NRMSE, skim rate {wn.skim_rate:.2f}"
+        )
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of the What's Next intermittent computing architecture (HPCA 2019).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments").set_defaults(func=cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment")
+    run_parser.add_argument("--scale", default="default", choices=("tiny", "default", "paper"))
+    run_parser.add_argument("--traces", type=int, default=3)
+    run_parser.add_argument("--invocations", type=int, default=1)
+    run_parser.set_defaults(func=cmd_run)
+
+    bench_parser = subparsers.add_parser("bench", help="quick speedup check for one benchmark")
+    bench_parser.add_argument("benchmark")
+    bench_parser.add_argument("--runtime", default="clank", choices=("clank", "nvp", "hibernus"))
+    bench_parser.add_argument("--scale", default="default", choices=("tiny", "default", "paper"))
+    bench_parser.add_argument("--traces", type=int, default=3)
+    bench_parser.add_argument("--invocations", type=int, default=1)
+    bench_parser.set_defaults(func=cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,290 @@
+"""A C-like textual front end for WN kernels.
+
+The paper's programmer interface is C with ``#pragma asp`` / ``#pragma
+asv`` annotations (Listings 1 and 3). This front end accepts that
+surface syntax for the kernel shapes the suite uses and produces the
+same IR the builder API constructs::
+
+    #pragma asp input(A, 8);
+    #pragma asp output(X);
+
+    kernel listing1 {
+        input  u16 A[64];
+        input  u16 F[64];
+        output u32 X[64];
+
+        for (i = 0; i < 64; i++) {
+            X[i] += A[i] * F[i];
+        }
+    }
+
+Grammar (informal):
+
+* pragmas: ``#pragma asp input(NAME, BITS);``, ``#pragma asp output(NAME);``,
+  ``#pragma asv input|output(NAME, BITS[, provisioned]);``
+* declarations: ``input|output u16|u32 NAME[LENGTH];`` and ``scalar NAME;``
+* statements: ``for (v = a; v < b; v++) { ... }``, ``lhs = expr;``,
+  ``lhs += expr;`` where ``lhs`` is ``NAME[expr]`` or a scalar
+* expressions: ``+ - * & | ^ << >>`` with C precedence, parentheses,
+  decimal/hex literals, identifiers, array indexing
+* comments: ``//`` to end of line
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .ir import (
+    Array,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    Kernel,
+    Load,
+    Loop,
+    Pragma,
+    Stmt,
+    Store,
+    Var,
+)
+
+
+class FrontendError(ValueError):
+    """Raised for malformed kernel source."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op><<=?|>>=?|\+=|[-+*&|^=;{}\[\](),<>#])
+    """,
+    re.VERBOSE,
+)
+
+#: Binary operators by C precedence (low to high).
+_PRECEDENCE: List[Tuple[str, ...]] = [("|",), ("^",), ("&",), ("<<", ">>"), ("+", "-"), ("*",)]
+
+
+def _tokenize(source: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if not match:
+            raise FrontendError(f"unexpected character {source[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.lastgroup != "ws":
+            tokens.append(match.group())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Optional[str]:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise FrontendError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise FrontendError(f"expected {token!r}, got {got!r}")
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.pos += 1
+            return True
+        return False
+
+    # -- pragmas -----------------------------------------------------------------
+
+    def parse_pragmas(self) -> Dict[str, Pragma]:
+        pragmas: Dict[str, Pragma] = {}
+        while self.peek() == "#":
+            self.expect("#")
+            self.expect("pragma")
+            kind = self.next()
+            if kind not in ("asp", "asv"):
+                raise FrontendError(f"unknown pragma kind {kind!r}")
+            direction = self.next()
+            if direction not in ("input", "output"):
+                raise FrontendError(f"pragma expects input/output, got {direction!r}")
+            self.expect("(")
+            name = self.next()
+            bits = 8
+            provisioned = False
+            if self.accept(","):
+                token = self.next()
+                if token == "provisioned":
+                    provisioned = True
+                else:
+                    bits = int(token, 0)
+                    if self.accept(","):
+                        self.expect("provisioned")
+                        provisioned = True
+            self.expect(")")
+            self.accept(";")
+            # Listing 1 annotates asp outputs without a subword size;
+            # the direction itself carries no IR meaning beyond marking
+            # the array approximable.
+            pragmas[name] = Pragma(kind, bits, provisioned)
+        return pragmas
+
+    # -- kernel ---------------------------------------------------------------------
+
+    def parse_kernel(self, pragmas: Dict[str, Pragma]) -> Kernel:
+        self.expect("kernel")
+        name = self.next()
+        self.expect("{")
+        arrays: Dict[str, Array] = {}
+        scalars: List[str] = []
+        while self.peek() in ("input", "output", "scalar"):
+            self._parse_declaration(arrays, scalars, pragmas)
+        body: List[Stmt] = []
+        while self.peek() != "}":
+            body.append(self._parse_statement(arrays, scalars))
+        self.expect("}")
+        if self.peek() is not None:
+            raise FrontendError(f"trailing tokens after kernel: {self.peek()!r}")
+        kernel = Kernel(name, arrays, body, scalars=tuple(scalars))
+        kernel.validate()
+        return kernel
+
+    def _parse_declaration(self, arrays, scalars, pragmas) -> None:
+        kind = self.next()
+        if kind == "scalar":
+            scalars.append(self.next())
+            self.expect(";")
+            return
+        type_name = self.next()
+        if type_name not in ("u16", "u32"):
+            raise FrontendError(f"unknown element type {type_name!r}")
+        name = self.next()
+        self.expect("[")
+        length = int(self.next(), 0)
+        self.expect("]")
+        self.expect(";")
+        arrays[name] = Array(
+            name,
+            length,
+            16 if type_name == "u16" else 32,
+            kind,
+            pragma=pragmas.get(name),
+        )
+
+    # -- statements -------------------------------------------------------------------
+
+    def _parse_statement(self, arrays, scalars) -> Stmt:
+        if self.peek() == "for":
+            return self._parse_for(arrays, scalars)
+        return self._parse_assignment(arrays)
+
+    def _parse_for(self, arrays, scalars) -> Loop:
+        self.expect("for")
+        self.expect("(")
+        var = self.next()
+        self.expect("=")
+        start = self._parse_int()
+        self.expect(";")
+        if self.next() != var:
+            raise FrontendError(f"for-loop condition must test {var!r}")
+        self.expect("<")
+        end = self._parse_int()
+        self.expect(";")
+        if self.next() != var:
+            raise FrontendError(f"for-loop increment must update {var!r}")
+        self.expect("+")
+        self.expect("+")
+        self.expect(")")
+        self.expect("{")
+        body: List[Stmt] = []
+        while self.peek() != "}":
+            body.append(self._parse_statement(arrays, scalars))
+        self.expect("}")
+        return Loop(var, start, end, body)
+
+    def _parse_int(self) -> int:
+        token = self.next()
+        try:
+            return int(token, 0)
+        except ValueError as exc:
+            raise FrontendError(f"expected integer, got {token!r}") from exc
+
+    def _parse_assignment(self, arrays) -> Stmt:
+        name = self.next()
+        if self.peek() == "[":
+            if name not in arrays:
+                raise FrontendError(f"undeclared array {name!r}")
+            self.expect("[")
+            index = self._parse_expr()
+            self.expect("]")
+            accumulate = self._parse_assign_op()
+            value = self._parse_expr()
+            self.expect(";")
+            return Store(name, index, value, accumulate=accumulate)
+        accumulate = self._parse_assign_op()
+        value = self._parse_expr()
+        self.expect(";")
+        if accumulate:
+            value = BinOp("+", Var(name), value)
+        return Assign(name, value)
+
+    def _parse_assign_op(self) -> bool:
+        token = self.next()
+        if token == "=":
+            return False
+        if token == "+=":
+            return True
+        raise FrontendError(f"expected '=' or '+=', got {token!r}")
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def _parse_expr(self, level: int = 0) -> Expr:
+        if level == len(_PRECEDENCE):
+            return self._parse_primary()
+        expr = self._parse_expr(level + 1)
+        ops = _PRECEDENCE[level]
+        while self.peek() in ops:
+            op = self.next()
+            rhs = self._parse_expr(level + 1)
+            expr = BinOp(op, expr, rhs)
+        return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self.next()
+        if token == "(":
+            expr = self._parse_expr()
+            self.expect(")")
+            return expr
+        if re.fullmatch(r"0[xX][0-9a-fA-F]+|\d+", token):
+            return Const(int(token, 0))
+        if not re.fullmatch(r"[A-Za-z_]\w*", token):
+            raise FrontendError(f"unexpected token {token!r} in expression")
+        if self.peek() == "[":
+            self.expect("[")
+            index = self._parse_expr()
+            self.expect("]")
+            return Load(token, index)
+        return Var(token)
+
+
+def parse_kernel(source: str) -> Kernel:
+    """Parse C-like kernel source (with pragmas) into the IR."""
+    parser = _Parser(_tokenize(source))
+    pragmas = parser.parse_pragmas()
+    return parser.parse_kernel(pragmas)

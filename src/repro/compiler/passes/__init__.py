@@ -1,0 +1,6 @@
+"""Compiler passes implementing the paper's Algorithm 1 transforms."""
+
+from .swp import SwpError, apply_swp
+from .swv import SwvError, apply_swv
+
+__all__ = ["SwpError", "SwvError", "apply_swp", "apply_swv"]

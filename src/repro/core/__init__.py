@@ -1,0 +1,66 @@
+"""The What's Next core: subword math, quality metrics, anytime API."""
+
+from .subword import (
+    group_size,
+    join_subwords,
+    pack_planes,
+    pack_planes_provisioned,
+    padded_count,
+    plane_count,
+    provisioned_group_size,
+    split_subwords,
+    unpack_planes,
+    unpack_planes_provisioned,
+)
+from .fixedpoint import FixedPointFormat, Q16, Q32
+from .quality import (
+    QualityCurve,
+    QualityPoint,
+    mean_relative_error,
+    nrmse,
+    psnr,
+)
+
+#: Names provided lazily from .anytime (PEP 562): the anytime API pulls
+#: in repro.compiler, which itself imports repro.core.subword — loading
+#: it eagerly here would close an import cycle.
+_ANYTIME_EXPORTS = {
+    "AnytimeConfig",
+    "AnytimeKernel",
+    "IntermittentRun",
+    "KernelRun",
+    "MODES",
+}
+
+
+def __getattr__(name):
+    if name in _ANYTIME_EXPORTS:
+        from . import anytime
+
+        return getattr(anytime, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = sorted(
+    {
+        "FixedPointFormat",
+        "Q16",
+        "Q32",
+        "QualityCurve",
+        "QualityPoint",
+        "group_size",
+        "join_subwords",
+        "mean_relative_error",
+        "nrmse",
+        "pack_planes",
+        "pack_planes_provisioned",
+        "padded_count",
+        "plane_count",
+        "provisioned_group_size",
+        "psnr",
+        "split_subwords",
+        "unpack_planes",
+        "unpack_planes_provisioned",
+    }
+    | _ANYTIME_EXPORTS
+)

@@ -1,0 +1,203 @@
+"""Subword decomposition and subword-major memory layout.
+
+Two data organizations from the paper:
+
+* **Subword pipelining (SWP)** keeps data in its natural layout but
+  processes one operand subword at a time, most significant first
+  (:func:`split_subwords` / :func:`join_subwords`).
+
+* **Subword vectorization (SWV)** transposes data into *subword-major*
+  order (paper Figure 7): the equal-significance subwords of a group of
+  elements are packed into one 32-bit word, so a single ALU operation
+  processes that significance plane of the whole group. Planes are laid
+  out most significant first, matching the anytime processing order.
+
+* **Provisioned layout** allocates each subword double the bits so
+  vectorized additions keep their carry-outs (paper Section III-B);
+  reconstruction sums the (overlapping) lanes and is exact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+WORD_BITS = 32
+MASK32 = 0xFFFFFFFF
+
+
+def split_subwords(value: int, subword_bits: int, element_bits: int) -> List[int]:
+    """Split ``value`` into subwords, *least significant first*.
+
+    ``element_bits`` must be divisible by ``subword_bits``; the list has
+    ``element_bits // subword_bits`` entries.
+    """
+    _check_widths(subword_bits, element_bits)
+    mask = (1 << subword_bits) - 1
+    count = element_bits // subword_bits
+    value &= (1 << element_bits) - 1
+    return [(value >> (i * subword_bits)) & mask for i in range(count)]
+
+
+def join_subwords(subwords: Sequence[int], subword_bits: int) -> int:
+    """Inverse of :func:`split_subwords`."""
+    mask = (1 << subword_bits) - 1
+    value = 0
+    for i, sub in enumerate(subwords):
+        value |= (sub & mask) << (i * subword_bits)
+    return value
+
+
+def _check_widths(subword_bits: int, element_bits: int) -> None:
+    if subword_bits <= 0 or element_bits <= 0:
+        raise ValueError("widths must be positive")
+    if element_bits % subword_bits:
+        raise ValueError(
+            f"element width {element_bits} not divisible by subword width {subword_bits}"
+        )
+
+
+def group_size(subword_bits: int) -> int:
+    """Elements per packed 32-bit plane word."""
+    if WORD_BITS % subword_bits:
+        raise ValueError(f"subword width {subword_bits} does not divide {WORD_BITS}")
+    return WORD_BITS // subword_bits
+
+
+def plane_count(subword_bits: int, element_bits: int) -> int:
+    """Significance planes per element."""
+    _check_widths(subword_bits, element_bits)
+    return element_bits // subword_bits
+
+
+def padded_count(count: int, subword_bits: int) -> int:
+    """Element count padded up to a whole number of groups."""
+    g = group_size(subword_bits)
+    return ((count + g - 1) // g) * g
+
+
+def pack_planes(
+    values: Sequence[int], subword_bits: int, element_bits: int
+) -> List[int]:
+    """Transpose ``values`` into subword-major plane words.
+
+    Output is plane-major with the *most significant plane first*:
+    ``planes * groups`` 32-bit words, where plane ``p`` (0 = most
+    significant) of group ``g`` is at index ``p * groups + g``. Elements
+    are zero-padded to a whole number of groups.
+    """
+    g = group_size(subword_bits)
+    planes = plane_count(subword_bits, element_bits)
+    total = padded_count(len(values), subword_bits)
+    groups = total // g
+    mask = (1 << subword_bits) - 1
+
+    words = [0] * (planes * groups)
+    for i, value in enumerate(values):
+        value &= (1 << element_bits) - 1
+        grp, lane = divmod(i, g)
+        for p in range(planes):
+            significance = planes - 1 - p  # plane 0 holds the MSbs
+            sub = (value >> (significance * subword_bits)) & mask
+            words[p * groups + grp] |= sub << (lane * subword_bits)
+    return words
+
+
+def unpack_planes(
+    words: Sequence[int],
+    subword_bits: int,
+    element_bits: int,
+    count: int,
+) -> List[int]:
+    """Inverse of :func:`pack_planes` (returns ``count`` elements)."""
+    g = group_size(subword_bits)
+    planes = plane_count(subword_bits, element_bits)
+    groups = padded_count(count, subword_bits) // g
+    if len(words) < planes * groups:
+        raise ValueError(
+            f"need {planes * groups} plane words for {count} elements, got {len(words)}"
+        )
+    mask = (1 << subword_bits) - 1
+
+    values = []
+    for i in range(count):
+        grp, lane = divmod(i, g)
+        value = 0
+        for p in range(planes):
+            significance = planes - 1 - p
+            sub = (words[p * groups + grp] >> (lane * subword_bits)) & mask
+            value |= sub << (significance * subword_bits)
+        values.append(value)
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Provisioned layout: W-bit subwords stored in 2W-bit lanes.
+# ---------------------------------------------------------------------------
+
+
+def provisioned_group_size(subword_bits: int) -> int:
+    """Elements per packed word when lanes are doubled to 2W bits."""
+    return group_size(2 * subword_bits)
+
+
+def pack_planes_provisioned(
+    values: Sequence[int], subword_bits: int, element_bits: int
+) -> List[int]:
+    """Subword-major packing with 2W-bit lanes (carry headroom).
+
+    Same plane-major, MSb-plane-first order as :func:`pack_planes`, but
+    each W-bit subword sits in a 2W-bit lane, so a packed word holds
+    half as many elements and the layout occupies twice the space.
+    """
+    lane_bits = 2 * subword_bits
+    g = group_size(lane_bits)
+    planes = plane_count(subword_bits, element_bits)
+    total = ((len(values) + g - 1) // g) * g
+    groups = total // g
+    mask = (1 << subword_bits) - 1
+
+    words = [0] * (planes * groups)
+    for i, value in enumerate(values):
+        value &= (1 << element_bits) - 1
+        grp, lane = divmod(i, g)
+        for p in range(planes):
+            significance = planes - 1 - p
+            sub = (value >> (significance * subword_bits)) & mask
+            words[p * groups + grp] |= sub << (lane * lane_bits)
+    return words
+
+
+def unpack_planes_provisioned(
+    words: Sequence[int],
+    subword_bits: int,
+    element_bits: int,
+    count: int,
+    result_bits: int = 32,
+) -> List[int]:
+    """Reconstruct element values from provisioned plane lanes.
+
+    Lane values may exceed ``subword_bits`` (they hold carry-outs), so
+    reconstruction *adds* the shifted lanes instead of OR-ing them —
+    this is what makes provisioned vectorized addition exact.
+    """
+    lane_bits = 2 * subword_bits
+    g = group_size(lane_bits)
+    planes = plane_count(subword_bits, element_bits)
+    groups = ((count + g - 1) // g) * g // g
+    if len(words) < planes * groups:
+        raise ValueError(
+            f"need {planes * groups} plane words for {count} elements, got {len(words)}"
+        )
+    lane_mask = (1 << lane_bits) - 1
+    result_mask = (1 << result_bits) - 1
+
+    values = []
+    for i in range(count):
+        grp, lane = divmod(i, g)
+        value = 0
+        for p in range(planes):
+            significance = planes - 1 - p
+            lane_value = (words[p * groups + grp] >> (lane * lane_bits)) & lane_mask
+            value += lane_value << (significance * subword_bits)
+        values.append(value & result_mask)
+    return values

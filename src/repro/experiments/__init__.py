@@ -1,0 +1,84 @@
+"""Paper-reproduction experiments: one module per table/figure."""
+
+from typing import Callable, Dict
+
+from .common import (
+    BenchmarkResult,
+    Environment,
+    ExperimentSetup,
+    SampleRun,
+    build_anytime,
+    calibrate_environment,
+    first_skim_cycles,
+    measure_precise_cycles,
+    median_speedup,
+    run_benchmark,
+)
+from .report import ascii_image, format_series, format_table
+from . import (
+    ablation,
+    areapower,
+    energy,
+    fig2,
+    fig3,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    summary,
+    table1,
+)
+
+#: Experiment registry: id -> run callable.
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": table1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "ablation-memo": ablation.run_memo_sweep,
+    "ablation-capacitor": ablation.run_capacitor_sweep,
+    "ablation-watchdog": ablation.run_watchdog_sweep,
+    "ablation-runtimes": ablation.run_runtime_comparison,
+    "areapower": areapower.run,
+    "energy-breakdown": energy.run,
+    "summary": summary.run,
+}
+
+
+def run_experiment(name: str, setup: ExperimentSetup = None):
+    """Run one experiment by id (see DESIGN.md's per-experiment index)."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name](setup)
+
+
+__all__ = [
+    "BenchmarkResult",
+    "Environment",
+    "EXPERIMENTS",
+    "ExperimentSetup",
+    "SampleRun",
+    "ascii_image",
+    "build_anytime",
+    "calibrate_environment",
+    "first_skim_cycles",
+    "format_series",
+    "format_table",
+    "measure_precise_cycles",
+    "median_speedup",
+    "run_benchmark",
+    "run_experiment",
+]

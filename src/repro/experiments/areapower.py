@@ -1,0 +1,135 @@
+"""Section V-D: area, power and frequency analysis.
+
+The paper synthesizes the WN modifications in TSMC 65nm (Synopsys DC /
+Cadence Innovus) and reports:
+
+* Fmax of the modified adder: 1.12 GHz (vs. the 24 MHz system clock);
+* mux area overhead: +0.02% of a Cortex M0+ subsystem;
+* adder power increase: +4%;
+* the 16-entry memoization table occupies 40.5% of a 16x16 multiplier.
+
+We do not have a synthesis flow, so this module reproduces the analysis
+from a parametric gate-level model: ripple-carry delay/area/power per
+full adder, 2:1 mux cost, multiplier as an add-shift array, memoization
+table as tag + data bits with SRAM density, and the M0+ subsystem gate
+count of Myers et al. (ISSCC'15), which the paper also compares against.
+Constants are standard-cell-typical; the checks assert the paper's
+claims hold in the model (right magnitudes), not exact percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.adder import NUM_MUXES
+from .report import format_table
+
+# -- 65nm standard-cell-typical constants -----------------------------------
+
+#: Gate-equivalents (NAND2) per cell.
+GE_FULL_ADDER = 6.0
+GE_MUX2 = 2.5
+GE_FLIPFLOP = 5.5
+GE_SRAM_BIT = 0.37  # compiled SRAM density relative to NAND2
+
+#: Delay per cell (ps) in 65nm at nominal corner.
+DELAY_FULL_ADDER_PS = 25.0
+DELAY_MUX2_PS = 16.0
+DELAY_SETUP_MARGIN_PS = 60.0
+
+#: Activity-scaled power weight of a mux relative to a full adder
+#: (muxes in the carry chain switch less often than the adder cells).
+MUX_POWER_FACTOR = 0.6
+
+#: Cortex M0+ subsystem size (Myers et al., ISSCC'15: an 80 nW retention
+#: subthreshold M0+ *subsystem* - core, NVM interface, peripherals).
+M0PLUS_SUBSYSTEM_GE = 90_000.0
+
+ADDER_BITS = 32
+MULTIPLIER_BITS = 16
+
+#: Memoization table geometry (paper Section V-E): 16 entries, 28-bit
+#: tags (upper 14 bits of both operands) + 32-bit products.
+MEMO_ENTRIES = 16
+MEMO_TAG_BITS = 28
+MEMO_DATA_BITS = 32
+
+
+@dataclass
+class AreaPowerResult:
+    fmax_ghz: float
+    mux_area_ge: float
+    adder_area_ge: float
+    mux_area_pct_of_core: float
+    adder_power_increase_pct: float
+    multiplier_area_ge: float
+    memo_table_area_ge: float
+    memo_table_pct_of_multiplier: float
+
+    def as_text(self) -> str:
+        rows = [
+            ("Adder Fmax (modified)", f"{self.fmax_ghz:.2f} GHz", "1.12 GHz"),
+            ("Mux area vs M0+ subsystem", f"{self.mux_area_pct_of_core:.3f}%", "0.02%"),
+            ("Adder power increase", f"{self.adder_power_increase_pct:.1f}%", "4%"),
+            ("Memo table vs 16x16 multiplier", f"{self.memo_table_pct_of_multiplier:.1f}%", "40.5%"),
+        ]
+        return format_table(
+            ["Quantity", "Model", "Paper (synthesis)"],
+            rows,
+            title="Section V-D: area and power analysis (parametric model)",
+        )
+
+    # -- the paper's claims as predicates ------------------------------------
+
+    def fmax_far_above_system_clock(self, clock_mhz: float = 24.0) -> bool:
+        return self.fmax_ghz * 1000.0 > 10.0 * clock_mhz
+
+    def mux_area_negligible(self) -> bool:
+        return self.mux_area_pct_of_core < 0.1
+
+    def memo_table_cheaper_than_multiplier(self) -> bool:
+        return self.memo_table_area_ge < self.multiplier_area_ge
+
+
+def run(setup: Optional[object] = None) -> AreaPowerResult:
+    # Critical path: 32 ripple full adders plus the 7 lane muxes.
+    path_ps = (
+        ADDER_BITS * DELAY_FULL_ADDER_PS
+        + NUM_MUXES * DELAY_MUX2_PS
+        + DELAY_SETUP_MARGIN_PS
+    )
+    fmax_ghz = 1000.0 / path_ps
+
+    adder_area = ADDER_BITS * GE_FULL_ADDER
+    mux_area = NUM_MUXES * GE_MUX2
+    mux_area_pct = 100.0 * mux_area / M0PLUS_SUBSYSTEM_GE
+    power_increase = 100.0 * (mux_area * MUX_POWER_FACTOR) / adder_area
+
+    # 16x16 add-shift multiplier: one 16-bit adder row per operand bit
+    # plus the operand/accumulator registers of the iterative datapath.
+    multiplier_area = (
+        MULTIPLIER_BITS * MULTIPLIER_BITS * GE_FULL_ADDER / 2.0  # folded array
+        + 3 * MULTIPLIER_BITS * GE_FLIPFLOP  # operand + accumulator regs
+    )
+    memo_bits = MEMO_ENTRIES * (MEMO_TAG_BITS + MEMO_DATA_BITS)
+    memo_area = memo_bits * GE_SRAM_BIT + MEMO_TAG_BITS * GE_MUX2  # bits + compare
+
+    return AreaPowerResult(
+        fmax_ghz=fmax_ghz,
+        mux_area_ge=mux_area,
+        adder_area_ge=adder_area,
+        mux_area_pct_of_core=mux_area_pct,
+        adder_power_increase_pct=power_increase,
+        multiplier_area_ge=multiplier_area,
+        memo_table_area_ge=memo_area,
+        memo_table_pct_of_multiplier=100.0 * memo_area / multiplier_area,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().as_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,120 @@
+"""Figure 10: speedup and quality on the checkpoint-based volatile
+processor (Clank).
+
+For each benchmark, the precise baseline and the 8-/4-bit anytime
+builds run under the same harvested-power traces (9 traces x 3
+invocations, as in the paper); the WN builds accept their approximate
+output via a skim point at the first outage after one is armed. Speedup
+is the median ratio of wall-clock time to finish one input; quality is
+the median NRMSE of the accepted outputs.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..workloads import BENCHMARKS, make_workload
+from .common import (
+    BenchmarkResult,
+    ExperimentSetup,
+    calibrate_environment,
+    measure_precise_cycles,
+    median_speedup,
+    run_benchmark,
+)
+from .report import format_table
+
+
+@dataclass
+class SpeedupRow:
+    benchmark: str
+    speedup_8bit: float
+    error_8bit: float
+    speedup_4bit: float
+    error_4bit: float
+
+
+@dataclass
+class SpeedupResult:
+    runtime: str
+    rows: List[SpeedupRow]
+    raw: Dict[Tuple[str, str], BenchmarkResult] = field(default_factory=dict)
+
+    @property
+    def average_speedup_8bit(self) -> float:
+        return statistics.mean(r.speedup_8bit for r in self.rows)
+
+    @property
+    def average_speedup_4bit(self) -> float:
+        return statistics.mean(r.speedup_4bit for r in self.rows)
+
+    @property
+    def average_error_8bit(self) -> float:
+        return statistics.mean(r.error_8bit for r in self.rows)
+
+    @property
+    def average_error_4bit(self) -> float:
+        return statistics.mean(r.error_4bit for r in self.rows)
+
+    def as_text(self, title: str) -> str:
+        rows = [
+            (r.benchmark, f"{r.speedup_8bit:.2f}x", f"{r.error_8bit:.2f}",
+             f"{r.speedup_4bit:.2f}x", f"{r.error_4bit:.2f}")
+            for r in self.rows
+        ]
+        rows.append(
+            ("Average", f"{self.average_speedup_8bit:.2f}x",
+             f"{self.average_error_8bit:.2f}",
+             f"{self.average_speedup_4bit:.2f}x",
+             f"{self.average_error_4bit:.2f}")
+        )
+        return format_table(
+            ["Benchmark", "8-bit speedup", "8-bit NRMSE %",
+             "4-bit speedup", "4-bit NRMSE %"],
+            rows,
+            title=title,
+        )
+
+
+def run_speedup_experiment(
+    runtime: str,
+    setup: Optional[ExperimentSetup] = None,
+    benchmarks: Tuple[str, ...] = BENCHMARKS,
+) -> SpeedupResult:
+    """Shared engine for Figures 10 (clank) and 11 (nvp)."""
+    setup = setup or ExperimentSetup()
+    result = SpeedupResult(runtime=runtime, rows=[])
+    for name in benchmarks:
+        workload = make_workload(name, setup.scale)
+        environment = calibrate_environment(measure_precise_cycles(workload), setup)
+        reference = workload.decoded_reference()
+        baseline = run_benchmark(workload, "precise", None, runtime, setup, environment, reference)
+        wn8 = run_benchmark(workload, workload.technique, 8, runtime, setup, environment, reference)
+        wn4 = run_benchmark(workload, workload.technique, 4, runtime, setup, environment, reference)
+        result.raw[(name, "precise")] = baseline
+        result.raw[(name, "8bit")] = wn8
+        result.raw[(name, "4bit")] = wn4
+        result.rows.append(
+            SpeedupRow(
+                benchmark=name,
+                speedup_8bit=median_speedup(baseline, wn8),
+                error_8bit=wn8.median_error,
+                speedup_4bit=median_speedup(baseline, wn4),
+                error_4bit=wn4.median_error,
+            )
+        )
+    return result
+
+
+def run(setup: Optional[ExperimentSetup] = None, **kwargs) -> SpeedupResult:
+    return run_speedup_experiment("clank", setup, **kwargs)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().as_text("Figure 10: speedup and quality on the volatile (Clank) processor"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

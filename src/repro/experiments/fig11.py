@@ -1,0 +1,32 @@
+"""Figure 11: speedup and quality on the non-volatile processor (NVP).
+
+Same protocol as Figure 10 but with the backup-every-cycle NVP runtime:
+nothing architectural is lost at an outage, restores are near-instant,
+and the energy model charges the per-cycle NV backup overhead. The
+paper's observation to reproduce: WN helps on both processor types, but
+the checkpoint-based volatile processor gains more, because WN's early
+completion avoids its larger re-execution overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..workloads import BENCHMARKS
+from .common import ExperimentSetup
+from .fig10 import SpeedupResult, run_speedup_experiment
+
+
+def run(
+    setup: Optional[ExperimentSetup] = None,
+    benchmarks: Tuple[str, ...] = BENCHMARKS,
+) -> SpeedupResult:
+    return run_speedup_experiment("nvp", setup, benchmarks=benchmarks)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().as_text("Figure 11: speedup and quality on the non-volatile processor"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

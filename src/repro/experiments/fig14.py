@@ -1,0 +1,79 @@
+"""Figure 14: provisioned vs unprovisioned subword-vectorized addition.
+
+Runtime-quality curves for MatAdd with 8-bit subwords in both SWV
+modes. The paper's claims:
+
+* the unprovisioned build produces an output slightly earlier (its
+  packed layout holds twice as many elements per word) but its error
+  *plateaus*: carry-outs between subwords are lost, so it never reaches
+  the precise result;
+* the provisioned build (2W-bit lanes) keeps every carry and converges
+  to zero error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.quality import QualityCurve
+from ..workloads import matadd
+from .common import ExperimentSetup, build_anytime, measure_precise_cycles
+from .report import format_series
+
+
+@dataclass
+class Fig14Result:
+    provisioned: QualityCurve
+    unprovisioned: QualityCurve
+
+    def as_text(self) -> str:
+        return "\n\n".join(
+            [
+                "Figure 14: MatAdd with and without provisioned vectorization",
+                format_series(
+                    "baseline (unprovisioned)",
+                    self.unprovisioned.runtimes,
+                    self.unprovisioned.errors,
+                    "runtime (normalized)",
+                    "NRMSE (%)",
+                ),
+                format_series(
+                    "provisioned",
+                    self.provisioned.runtimes,
+                    self.provisioned.errors,
+                    "runtime (normalized)",
+                    "NRMSE (%)",
+                ),
+            ]
+        )
+
+
+def run(setup: Optional[ExperimentSetup] = None, bits: int = 8, samples: int = 30) -> Fig14Result:
+    setup = setup or ExperimentSetup()
+    curves = {}
+    for provisioned in (True, False):
+        workload = matadd.make(setup.scale, provisioned=provisioned, bits=bits)
+        baseline = measure_precise_cycles(workload)
+        kernel = build_anytime(workload, "swv", bits)
+        curve = kernel.quality_curve(
+            workload.inputs,
+            baseline_cycles=baseline,
+            samples=samples,
+            decode=workload.decode,
+        )
+        curve.label = "provisioned" if provisioned else "unprovisioned"
+        curves[provisioned] = curve
+    return Fig14Result(provisioned=curves[True], unprovisioned=curves[False])
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run()
+    print(result.as_text())
+    print()
+    print(f"provisioned final error:   {result.provisioned.final_error:.6f}%")
+    print(f"unprovisioned final error: {result.unprovisioned.final_error:.6f}%")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,161 @@
+"""Figure 17: WN vs input sampling for the Var benchmark.
+
+Twenty-four sensor datasets arrive as a stream; the harvested energy
+per arrival period covers only about half of a precise variance
+computation, so the precise implementation (input sampling) drops
+roughly every other dataset. The WN build accepts an approximate
+variance per dataset at a fraction of the energy and follows the peaks
+and troughs of the signal across (nearly) all datasets.
+
+Reproduced claims: WN processes substantially more datasets than input
+sampling with the same energy budget, and its measured values track the
+reference's peaks and troughs. (The paper reports a 1.53% average
+error; our on-device two-moment variance is more sensitive to the
+missing low subwords, so the anytime error is larger — see
+EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.anytime import AnytimeConfig, AnytimeKernel
+from ..power.capacitor import Capacitor
+from ..power.energy import EnergyModel
+from ..power.harvester import wifi_trace
+from ..power.supply import PowerSupply
+from ..runtime.nvp import NVPRuntime
+from ..runtime.stream import process_stream
+from ..workloads import var
+from ..workloads.data import sensor_series
+from .common import ExperimentSetup
+from .report import format_table
+
+DATASETS = 24
+PERIOD_MS = 150
+HARVEST_FRACTION = 0.52
+OVERHEAD_FACTOR = 1.05
+#: Subword width for the anytime build. 8 bits: the 4-bit two-moment
+#: variance degenerates on 13-bit sensor data (EXPERIMENTS.md).
+BITS = 8
+
+
+def dataset_readings(index: int, seed: int = 0) -> List[int]:
+    """Dataset ``index``'s readings.
+
+    Bursty, variance-dominated signals (vibration/activity magnitudes)
+    whose intensity follows a peak/trough pattern across datasets — the
+    shape the paper's Figure 17 plots. Variance-dominated statistics
+    keep the anytime moment estimate meaningful (see EXPERIMENTS.md on
+    the Var error floor)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed * 100 + index)
+    intensity = 1.0 + 0.75 * math.sin(2 * math.pi * index / 8.0)
+    values = rng.gamma(0.35, 2600.0 * intensity, size=var.READINGS)
+    return [min(8191, max(0, int(v))) for v in values]
+
+
+@dataclass
+class Fig17Result:
+    reference: List[float]  # precise variance per dataset
+    wn_values: Dict[int, float]  # dataset -> measured variance (WN)
+    sampled_values: Dict[int, float]  # dataset -> measured variance (precise)
+    wn_coverage: float
+    sampled_coverage: float
+    wn_mean_error_pct: float
+
+    def as_text(self) -> str:
+        rows = []
+        for index in range(len(self.reference)):
+            rows.append(
+                (
+                    index,
+                    f"{self.reference[index]:.0f}",
+                    f"{self.wn_values[index]:.0f}" if index in self.wn_values else "-",
+                    f"{self.sampled_values[index]:.0f}" if index in self.sampled_values else "-",
+                )
+            )
+        table = format_table(
+            ["Data set", "Precise", "WN", "Sampled"],
+            rows,
+            title="Figure 17: WN vs input sampling for the Var benchmark",
+        )
+        summary = (
+            f"\nWN coverage: {self.wn_coverage:.2f}  "
+            f"sampling coverage: {self.sampled_coverage:.2f}  "
+            f"WN mean error: {self.wn_mean_error_pct:.2f}%"
+        )
+        return table + summary
+
+
+def _stream(kernel: AnytimeKernel, datasets: List[List[int]], supply: PowerSupply):
+    arrivals = [i * PERIOD_MS for i in range(len(datasets))]
+
+    def make_cpu(index: int):
+        return kernel.make_cpu({"X": datasets[index]})
+
+    def extract(cpu) -> float:
+        return var.decode(kernel.read_outputs(cpu))[0]
+
+    return process_stream(arrivals, supply, make_cpu, NVPRuntime, extract)
+
+
+def run(setup: Optional[ExperimentSetup] = None, seed: int = 0) -> Fig17Result:
+    datasets = [dataset_readings(i, seed) for i in range(DATASETS)]
+    kernel_ir = var.build_kernel(sensors=1, bits=BITS)
+    precise = AnytimeKernel(kernel_ir)
+    anytime = AnytimeKernel(kernel_ir, AnytimeConfig(mode="swp", bits=BITS))
+
+    reference = [
+        var.decode(precise.reference_outputs({"X": data}))[0] for data in datasets
+    ]
+
+    energy = EnergyModel()
+    probe = precise.run({"X": datasets[0]})
+    dataset_energy = energy.energy_for_cycles(probe.cycles) * OVERHEAD_FACTOR
+    mean_power = HARVEST_FRACTION * dataset_energy / (PERIOD_MS / 1000.0)
+    swing_cycles = max(300, probe.cycles // 8)
+    capacitance = 2.0 * energy.energy_for_cycles(swing_cycles) / (3.0**2 - 1.8**2)
+
+    def fresh_supply() -> PowerSupply:
+        return PowerSupply(
+            wifi_trace(
+                duration_ms=PERIOD_MS * (DATASETS + 2),
+                seed=seed + 11,
+                mean_power_w=mean_power,
+                burst_rate_hz=150.0,
+                burst_ms_mean=4.0,
+            ),
+            Capacitor(capacitance_f=capacitance, v_initial=3.0, v_max=3.3),
+            energy,
+        )
+
+    sampled = _stream(precise, datasets, fresh_supply())
+    wn = _stream(anytime, datasets, fresh_supply())
+
+    wn_values = {p.index: p.output for p in wn.processed}
+    sampled_values = {p.index: p.output for p in sampled.processed}
+    errors = [
+        abs(value - reference[index]) / reference[index] * 100.0
+        for index, value in wn_values.items()
+        if reference[index] > 0
+    ]
+    return Fig17Result(
+        reference=reference,
+        wn_values=wn_values,
+        sampled_values=sampled_values,
+        wn_coverage=wn.coverage,
+        sampled_coverage=sampled.coverage,
+        wn_mean_error_pct=sum(errors) / len(errors) if errors else float("nan"),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().as_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,183 @@
+"""Figure 3: blood-glucose monitoring — input sampling vs anytime processing.
+
+A wearable harvester samples a glucose sensor periodically over a
+10-hour window containing two hypoglycemic dips (<50 mg/dL). The
+harvested energy per sampling period covers only ~60% of a precise
+reading's cost, so the precise device *drops* readings (input
+sampling); the 4-bit anytime device accepts an approximate value per
+reading at a fraction of the energy and keeps up.
+
+Reproduced claims:
+
+* input sampling misses readings — including at least one dip;
+* anytime processing covers (nearly) every reading and catches *both*
+  dips, with average error within the ISO ±20% band (the paper reports
+  7.5% for 4-bit subwords).
+
+The 15-minute wall-clock interval is compressed (the simulator runs at
+milliseconds per tick); the energy-per-period to energy-per-reading
+ratio — the quantity that determines sampling behaviour — is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.anytime import AnytimeConfig, AnytimeKernel
+from ..power.capacitor import Capacitor
+from ..power.energy import EnergyModel
+from ..power.harvester import wifi_trace
+from ..power.supply import PowerSupply
+from ..runtime.nvp import NVPRuntime
+from ..runtime.stream import StreamResult, process_stream
+from ..workloads import glucose
+from .common import ExperimentSetup
+from .report import format_table
+
+#: Compressed sampling period (stands in for the paper's 15 minutes).
+PERIOD_MS = 120
+#: Oversamples per reading (the kernel's batch).
+BATCH = 64
+#: Harvested energy per period as a fraction of one precise reading's
+#: energy: below 1.0, input sampling cannot keep up.
+HARVEST_FRACTION = 0.52
+#: Empirical allowance for restore overhead and charge-threshold waste.
+OVERHEAD_FACTOR = 1.05
+
+
+@dataclass
+class StreamSeries:
+    """One configuration's readings."""
+
+    label: str
+    times: List[float]  # time of day (hours) per processed reading
+    values: List[float]  # mg/dL
+    coverage: float
+    detected_dips: List[float]
+    mean_error_pct: float
+
+
+@dataclass
+class Fig3Result:
+    clinical_times: List[float]
+    clinical_values: List[float]
+    sampling: StreamSeries
+    anytime: StreamSeries
+
+    def as_text(self) -> str:
+        rows = [
+            ("clinical reference", "1.00", len(_dips(self.clinical_values, self.clinical_times)), "-"),
+            (
+                "input sampling (precise)",
+                f"{self.sampling.coverage:.2f}",
+                len(self.sampling.detected_dips),
+                f"{self.sampling.mean_error_pct:.2f}%",
+            ),
+            (
+                "anytime (4-bit SWP)",
+                f"{self.anytime.coverage:.2f}",
+                len(self.anytime.detected_dips),
+                f"{self.anytime.mean_error_pct:.2f}%",
+            ),
+        ]
+        return format_table(
+            ["Configuration", "Coverage", "Dips detected", "Mean error"],
+            rows,
+            title="Figure 3: glucose monitoring, input sampling vs anytime processing",
+        )
+
+
+def _dips(values: List[float], times: List[float]) -> List[float]:
+    return glucose.detected_dips(times, values)
+
+
+def _run_stream(kernel: AnytimeKernel, readings: List[float], supply: PowerSupply,
+                times: List[float]) -> StreamSeries:
+    arrivals = [i * PERIOD_MS for i in range(len(readings))]
+
+    def make_cpu(index: int):
+        inputs = glucose.reading_inputs(readings[index], batch=BATCH, seed=index)
+        return kernel.make_cpu(inputs)
+
+    def extract(cpu) -> float:
+        return glucose.decode_reading(kernel.read_outputs(cpu))
+
+    result: StreamResult = process_stream(
+        arrivals, supply, make_cpu, NVPRuntime, extract
+    )
+    processed_times = [times[p.index] for p in result.processed]
+    values = [p.output for p in result.processed]
+    errors = [
+        abs(v - readings[p.index]) / readings[p.index] * 100.0
+        for p, v in zip(result.processed, values)
+    ]
+    return StreamSeries(
+        label=kernel.kernel.name,
+        times=processed_times,
+        values=values,
+        coverage=result.coverage,
+        detected_dips=glucose.detected_dips(processed_times, values),
+        mean_error_pct=sum(errors) / len(errors) if errors else float("nan"),
+    )
+
+
+def run(setup: Optional[ExperimentSetup] = None, seed: int = 0) -> Fig3Result:
+    clinical = glucose.clinical_series(seed)
+    times = glucose.times_of_day()
+    energy = EnergyModel()
+
+    # Calibrate the harvest so one period funds ~HARVEST_FRACTION of a
+    # precise reading.
+    base_kernel = glucose.build_kernel(batch=BATCH, bits=4)
+    precise = AnytimeKernel(base_kernel)
+    probe = precise.run(glucose.reading_inputs(clinical[0], batch=BATCH, seed=0))
+    reading_energy = energy.energy_for_cycles(probe.cycles) * OVERHEAD_FACTOR
+    mean_power = HARVEST_FRACTION * reading_energy / (PERIOD_MS / 1000.0)
+
+    duration = PERIOD_MS * (len(clinical) + 2)
+    swing_cycles = max(300, probe.cycles // 8)
+    capacitance = 2.0 * energy.energy_for_cycles(swing_cycles) / (3.0**2 - 1.8**2)
+
+    def fresh_supply() -> PowerSupply:
+        return PowerSupply(
+            wifi_trace(
+                duration_ms=duration,
+                seed=seed + 7,
+                mean_power_w=mean_power,
+                # A body-worn harvester near its source sees denser,
+                # shallower bursts than an ambient-WiFi one; lower
+                # variance keeps per-reading energy arrival steady.
+                burst_rate_hz=150.0,
+                burst_ms_mean=4.0,
+            ),
+            Capacitor(capacitance_f=capacitance, v_initial=3.0, v_max=3.3),
+            energy,
+        )
+
+    sampling = _run_stream(precise, clinical, fresh_supply(), times)
+    anytime = _run_stream(
+        AnytimeKernel(base_kernel, AnytimeConfig(mode="swp", bits=4)),
+        clinical,
+        fresh_supply(),
+        times,
+    )
+    return Fig3Result(
+        clinical_times=times,
+        clinical_values=clinical,
+        sampling=sampling,
+        anytime=anytime,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run()
+    print(result.as_text())
+    print()
+    print("clinical dips at:", [f"{t:.2f}h" for t in _dips(result.clinical_values, result.clinical_times)])
+    print("sampling detected:", [f"{t:.2f}h" for t in result.sampling.detected_dips])
+    print("anytime detected: ", [f"{t:.2f}h" for t in result.anytime.detected_dips])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

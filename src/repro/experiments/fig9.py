@@ -1,0 +1,83 @@
+"""Figure 9: runtime-quality trade-off curves.
+
+For each benchmark and subword width (4 and 8 bits), the output's NRMSE
+is sampled as the anytime build runs under continuous power; runtime is
+normalized to the precise baseline. SWV benchmarks use provisioned
+addition, as the paper does for this figure.
+
+The paper's qualitative features this experiment must show:
+
+* quality improves (or steps) monotonically toward the precise result;
+* an approximate output is available well before 1.0x baseline runtime;
+* 4-bit curves produce output earlier but take longer to reach precise;
+* reduction benchmarks (Var, Home, NetMotion) improve in steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.quality import QualityCurve
+from ..workloads import BENCHMARKS, make_workload
+from .common import ExperimentSetup, build_anytime, measure_precise_cycles
+from .report import format_series
+
+
+@dataclass
+class Fig9Result:
+    #: curves[(benchmark, bits)] -> QualityCurve
+    curves: Dict[Tuple[str, int], QualityCurve]
+    baseline_cycles: Dict[str, int]
+
+    def curve(self, benchmark: str, bits: int) -> QualityCurve:
+        return self.curves[(benchmark, bits)]
+
+    def as_text(self) -> str:
+        parts: List[str] = ["Figure 9: runtime-quality trade-off curves"]
+        for (name, bits), curve in sorted(self.curves.items()):
+            parts.append("")
+            parts.append(
+                format_series(
+                    f"{name} {bits}-bit",
+                    curve.runtimes,
+                    curve.errors,
+                    x_label="runtime (normalized to baseline)",
+                    y_label="NRMSE (%)",
+                )
+            )
+        return "\n".join(parts)
+
+
+def run(
+    setup: ExperimentSetup = None,
+    benchmarks: Tuple[str, ...] = BENCHMARKS,
+    widths: Tuple[int, ...] = (4, 8),
+    samples: int = 40,
+) -> Fig9Result:
+    setup = setup or ExperimentSetup()
+    curves: Dict[Tuple[str, int], QualityCurve] = {}
+    baselines: Dict[str, int] = {}
+    for name in benchmarks:
+        workload = make_workload(name, setup.scale)
+        baseline = measure_precise_cycles(workload)
+        baselines[name] = baseline
+        for bits in widths:
+            kernel = build_anytime(workload, workload.technique, bits)
+            curve = kernel.quality_curve(
+                workload.inputs,
+                baseline_cycles=baseline,
+                samples=samples,
+                decode=workload.decode,
+            )
+            curve.label = f"{name}-{bits}bit"
+            curves[(name, bits)] = curve
+    return Fig9Result(curves, baselines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().as_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

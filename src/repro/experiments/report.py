@@ -1,0 +1,66 @@
+"""Plain-text table/series formatting for experiment output.
+
+The harness prints the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """One figure series as aligned columns."""
+    header = f"# {name}: {x_label} vs {y_label}"
+    lines = [header]
+    for x, y in zip(xs, ys):
+        lines.append(f"{_fmt(x):>12}  {_fmt(y):>14}")
+    return "\n".join(lines)
+
+
+def ascii_image(values: Sequence[float], width: int, vmax: float = 255.0) -> str:
+    """Render a grayscale image as ASCII art (for Figures 2 and 16)."""
+    ramp = " .:-=+*#%@"
+    lines = []
+    for start in range(0, len(values), width):
+        row = values[start:start + width]
+        chars = []
+        for v in row:
+            level = min(len(ramp) - 1, max(0, int(v / vmax * (len(ramp) - 1))))
+            chars.append(ramp[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,84 @@
+"""Headline result: average WN speedups on both processor types.
+
+The paper's abstract/Section V-F numbers:
+
+* checkpoint-based volatile processor (Clank): 1.78x (8-bit), 3.02x (4-bit)
+* non-volatile processor (NVP):                1.41x (8-bit), 2.26x (4-bit)
+
+This experiment aggregates Figures 10 and 11 and checks the qualitative
+claims: WN speeds up both processor types; 4-bit beats 8-bit; the
+volatile processor gains at least as much as the NVP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .common import ExperimentSetup
+from .fig10 import SpeedupResult, run_speedup_experiment
+from .report import format_table
+
+PAPER_AVERAGES = {
+    ("clank", 8): 1.78,
+    ("clank", 4): 3.02,
+    ("nvp", 8): 1.41,
+    ("nvp", 4): 2.26,
+}
+PAPER_ERRORS = {
+    ("clank", 8): 0.36,
+    ("clank", 4): 3.17,
+}
+
+
+@dataclass
+class SummaryResult:
+    clank: SpeedupResult
+    nvp: SpeedupResult
+
+    def as_text(self) -> str:
+        rows = []
+        for runtime, result in (("clank", self.clank), ("nvp", self.nvp)):
+            rows.append(
+                (
+                    "volatile (Clank)" if runtime == "clank" else "NVP",
+                    f"{result.average_speedup_8bit:.2f}x",
+                    f"{PAPER_AVERAGES[(runtime, 8)]:.2f}x",
+                    f"{result.average_speedup_4bit:.2f}x",
+                    f"{PAPER_AVERAGES[(runtime, 4)]:.2f}x",
+                )
+            )
+        return format_table(
+            ["Processor", "8-bit (ours)", "8-bit (paper)", "4-bit (ours)", "4-bit (paper)"],
+            rows,
+            title="Summary: average WN speedups (Section V-F)",
+        )
+
+    def qualitative_claims_hold(self) -> bool:
+        """The paper's shape claims, as a single predicate."""
+        return (
+            self.clank.average_speedup_8bit > 1.0
+            and self.nvp.average_speedup_8bit > 1.0
+            and self.clank.average_speedup_4bit > self.clank.average_speedup_8bit
+            and self.nvp.average_speedup_4bit > self.nvp.average_speedup_8bit
+            and self.clank.average_speedup_4bit >= self.nvp.average_speedup_4bit
+            and self.clank.average_error_8bit < self.clank.average_error_4bit
+        )
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> SummaryResult:
+    setup = setup or ExperimentSetup()
+    return SummaryResult(
+        clank=run_speedup_experiment("clank", setup),
+        nvp=run_speedup_experiment("nvp", setup),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run()
+    print(result.as_text())
+    print(f"qualitative claims hold: {result.qualitative_claims_hold()}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,103 @@
+"""Table I: benchmark descriptions, WN-amenable instruction share, runtime.
+
+Reproduces the paper's benchmark-characterization table. "Insn %" is
+the share of dynamic instructions executed as WN extension operations
+in the 8-bit anytime build (the instructions the compiler rewrote);
+"Runtime" is the precise build's continuous-power runtime at 24 MHz.
+The paper's runtimes are at paper scale; the default experiment scale
+shrinks problem sizes (see DESIGN.md), so runtimes are proportionally
+smaller while the cross-benchmark ordering is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..power.energy import EnergyModel
+from ..workloads import BENCHMARKS, make_workload
+from .common import ExperimentSetup, build_anytime
+from .report import format_table
+
+#: Paper-reported values for side-by-side comparison.
+PAPER_INSN_PCT = {
+    "Conv2d": 10.49,
+    "MatMul": 8.84,
+    "MatAdd": 8.94,
+    "Home": 23.19,
+    "Var": 12.26,
+    "NetMotion": 17.93,
+}
+PAPER_RUNTIME_MS = {
+    "Conv2d": 1487.0,
+    "MatMul": 298.0,
+    "MatAdd": 131.0,
+    "Home": 30.0,
+    "Var": 32.0,
+    "NetMotion": 47.0,
+}
+
+
+@dataclass
+class Table1Row:
+    name: str
+    area: str
+    description: str
+    technique: str
+    insn_pct: float
+    runtime_ms: float
+    paper_insn_pct: float
+    paper_runtime_ms: float
+    code_size_bytes: int
+
+
+@dataclass
+class Table1Result:
+    rows: List[Table1Row]
+
+    def as_text(self) -> str:
+        return format_table(
+            ["Benchmark", "Area", "Technique", "Insn %", "Paper Insn %",
+             "Runtime (ms)", "Paper (ms)", "Code (B)"],
+            [
+                (r.name, r.area, r.technique.upper(), f"{r.insn_pct:.2f}",
+                 f"{r.paper_insn_pct:.2f}", f"{r.runtime_ms:.2f}",
+                 f"{r.paper_runtime_ms:.0f}", r.code_size_bytes)
+                for r in self.rows
+            ],
+            title="Table I: Benchmark descriptions",
+        )
+
+
+def run(setup: ExperimentSetup = None) -> Table1Result:
+    setup = setup or ExperimentSetup()
+    energy = EnergyModel()
+    rows: List[Table1Row] = []
+    for name in BENCHMARKS:
+        workload = make_workload(name, setup.scale)
+        precise = build_anytime(workload, "precise")
+        precise_run = precise.run(workload.inputs)
+        anytime = build_anytime(workload, workload.technique, 8)
+        anytime_run = anytime.run(workload.inputs)
+        rows.append(
+            Table1Row(
+                name=workload.name,
+                area=workload.area,
+                description=workload.description,
+                technique=workload.technique,
+                insn_pct=100.0 * anytime_run.wn_fraction,
+                runtime_ms=energy.ms_for_cycles(precise_run.cycles),
+                paper_insn_pct=PAPER_INSN_PCT[name],
+                paper_runtime_ms=PAPER_RUNTIME_MS[name],
+                code_size_bytes=anytime.code_size_bytes,
+            )
+        )
+    return Table1Result(rows)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().as_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,108 @@
+"""Binary encoding of WN instructions.
+
+This is a *machine-code* style serialization used for two purposes:
+
+1. round-trip testing (encode → decode → identical instruction), and
+2. storing programs compactly in the simulated non-volatile memory so
+   intermittent runs can account for code occupying NVM space.
+
+The format is deliberately simple: a fixed 10-byte record per
+instruction — one opcode byte, one presence-flags byte, three register
+bytes, one 4-byte signed immediate and one reserved byte. (The
+*architectural* code-size accounting in the paper — 16-bit base Thumb
+instructions vs 32-bit WN extensions — is provided separately by
+:attr:`repro.isa.instructions.Instruction.size_bytes`.)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional
+
+from .instructions import ALL_OPS, Instruction
+from .program import Program
+
+RECORD_SIZE = 10
+_RECORD = struct.Struct("<BBBBBiB")
+
+#: Stable opcode numbering (sorted so it does not depend on set order).
+OPCODES: Dict[str, int] = {op: i for i, op in enumerate(sorted(ALL_OPS))}
+MNEMONICS: Dict[int, str] = {i: op for op, i in OPCODES.items()}
+
+_HAS_RD = 1 << 0
+_HAS_RN = 1 << 1
+_HAS_RM = 1 << 2
+_HAS_IMM = 1 << 3
+_HAS_TARGET = 1 << 4
+
+
+def encode_instruction(instr: Instruction) -> bytes:
+    """Serialize one instruction to a fixed-size record."""
+    flags = 0
+    imm = 0
+    if instr.rd is not None:
+        flags |= _HAS_RD
+    if instr.rn is not None:
+        flags |= _HAS_RN
+    if instr.rm is not None:
+        flags |= _HAS_RM
+    if instr.imm is not None:
+        flags |= _HAS_IMM
+        imm = instr.imm
+    if instr.label is not None:
+        if instr.target is None:
+            raise ValueError("cannot encode unresolved label; assemble first")
+        flags |= _HAS_TARGET
+        imm = instr.target
+    return _RECORD.pack(
+        OPCODES[instr.op],
+        flags,
+        instr.rd or 0,
+        instr.rn or 0,
+        instr.rm or 0,
+        imm,
+        0,
+    )
+
+
+def decode_instruction(record: bytes, labels: Optional[Dict[int, str]] = None) -> Instruction:
+    """Deserialize one fixed-size record back into an instruction.
+
+    ``labels`` optionally maps target indices back to label names so the
+    decoded instruction compares equal to the original.
+    """
+    opcode, flags, rd, rn, rm, imm, _ = _RECORD.unpack(record)
+    op = MNEMONICS[opcode]
+    label = None
+    target = None
+    if flags & _HAS_TARGET:
+        target = imm
+        label = (labels or {}).get(imm, f"L{imm}")
+        imm = None
+    elif not flags & _HAS_IMM:
+        imm = None
+    return Instruction(
+        op,
+        rd=rd if flags & _HAS_RD else None,
+        rn=rn if flags & _HAS_RN else None,
+        rm=rm if flags & _HAS_RM else None,
+        imm=imm,
+        label=label,
+        target=target,
+    )
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialize a whole program (instructions only; symbols are metadata)."""
+    return b"".join(encode_instruction(i) for i in program.instructions)
+
+
+def decode_program(blob: bytes, labels: Optional[Dict[str, int]] = None, name: str = "decoded") -> Program:
+    """Deserialize a program previously produced by :func:`encode_program`."""
+    if len(blob) % RECORD_SIZE:
+        raise ValueError("truncated program blob")
+    reverse = {idx: lbl for lbl, idx in (labels or {}).items()}
+    instructions: List[Instruction] = []
+    for off in range(0, len(blob), RECORD_SIZE):
+        instructions.append(decode_instruction(blob[off:off + RECORD_SIZE], reverse))
+    return Program(instructions, labels or {}, name=name)

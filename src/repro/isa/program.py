@@ -1,0 +1,62 @@
+"""Program container: an assembled sequence of instructions plus symbols."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .instructions import Instruction
+
+
+class Program:
+    """An assembled program.
+
+    ``instructions`` is the flat instruction list (the PC is an index
+    into it). ``labels`` maps label names to instruction indices and
+    ``constants`` holds ``.equ`` symbol definitions.
+    """
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        constants: Optional[Dict[str, int]] = None,
+        name: str = "program",
+    ):
+        self.instructions: List[Instruction] = list(instructions)
+        self.labels: Dict[str, int] = dict(labels or {})
+        self.constants: Dict[str, int] = dict(constants or {})
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def label_address(self, label: str) -> int:
+        """Instruction index of ``label`` (raises KeyError if undefined)."""
+        return self.labels[label]
+
+    @property
+    def code_size_bytes(self) -> int:
+        """Static code size, for the paper's code-growth accounting."""
+        return sum(instr.size_bytes for instr in self.instructions)
+
+    def listing(self) -> str:
+        """Human-readable listing with labels and indices."""
+        by_index: Dict[int, List[str]] = {}
+        for label, idx in self.labels.items():
+            by_index.setdefault(idx, []).append(label)
+        lines = []
+        for i, instr in enumerate(self.instructions):
+            for label in sorted(by_index.get(i, [])):
+                lines.append(f"{label}:")
+            text = instr.text or instr.op
+            lines.append(f"  {i:5d}  {text}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Program({self.name!r}, {len(self.instructions)} instructions)"

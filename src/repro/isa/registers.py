@@ -1,0 +1,112 @@
+"""Register file and condition flags for the WN CPU.
+
+All registers are 32 bits wide and stored as unsigned Python ints in
+``[0, 2**32)``. Helpers convert to/from signed interpretation where an
+instruction's semantics require it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .instructions import NUM_REGS
+
+MASK32 = 0xFFFFFFFF
+
+
+def to_signed(value: int, bits: int = 32) -> int:
+    """Interpret ``value`` (unsigned, ``bits`` wide) as two's complement."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def to_unsigned(value: int, bits: int = 32) -> int:
+    """Wrap a Python int into the unsigned ``bits``-wide representation."""
+    return value & ((1 << bits) - 1)
+
+
+class Flags:
+    """NZCV condition flags."""
+
+    __slots__ = ("n", "z", "c", "v")
+
+    def __init__(self, n: bool = False, z: bool = False, c: bool = False, v: bool = False):
+        self.n = n
+        self.z = z
+        self.c = c
+        self.v = v
+
+    def snapshot(self) -> tuple:
+        return (self.n, self.z, self.c, self.v)
+
+    def restore(self, snap: tuple) -> None:
+        self.n, self.z, self.c, self.v = snap
+
+    def set_nz(self, result: int) -> None:
+        result &= MASK32
+        self.n = bool(result & 0x80000000)
+        self.z = result == 0
+
+    def condition(self, cond: str) -> bool:
+        """Evaluate an ARM condition code against the current flags."""
+        if cond == "EQ":
+            return self.z
+        if cond == "NE":
+            return not self.z
+        if cond == "LT":
+            return self.n != self.v
+        if cond == "GE":
+            return self.n == self.v
+        if cond == "GT":
+            return (not self.z) and self.n == self.v
+        if cond == "LE":
+            return self.z or self.n != self.v
+        if cond == "LO":
+            return not self.c
+        if cond == "HS":
+            return self.c
+        if cond == "HI":
+            return self.c and not self.z
+        if cond == "LS":
+            return (not self.c) or self.z
+        if cond == "MI":
+            return self.n
+        if cond == "PL":
+            return not self.n
+        raise ValueError(f"unknown condition {cond!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Flags(n={self.n}, z={self.z}, c={self.c}, v={self.v})"
+
+
+class RegisterFile:
+    """Sixteen 32-bit registers. The PC is handled by the CPU, not here."""
+
+    __slots__ = ("regs",)
+
+    def __init__(self, values: Iterable[int] = ()):
+        self.regs: List[int] = [0] * NUM_REGS
+        for i, v in enumerate(values):
+            self.regs[i] = v & MASK32
+
+    def __getitem__(self, index: int) -> int:
+        return self.regs[index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self.regs[index] = value & MASK32
+
+    def signed(self, index: int) -> int:
+        return to_signed(self.regs[index])
+
+    def snapshot(self) -> List[int]:
+        return list(self.regs)
+
+    def restore(self, snap: Iterable[int]) -> None:
+        self.regs = list(snap)
+        if len(self.regs) != NUM_REGS:
+            raise ValueError("register snapshot has wrong length")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "RegisterFile(" + ", ".join(f"R{i}={v:#x}" for i, v in enumerate(self.regs)) + ")"

@@ -1,0 +1,70 @@
+"""Common interface for intermittent-computing runtimes.
+
+A runtime owns the policy that preserves forward progress across power
+outages: Clank-style checkpointing for a conventional volatile core, or
+backup-every-cycle for a non-volatile processor. The
+:class:`~repro.runtime.executor.IntermittentExecutor` drives a runtime
+through this interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..sim.cpu import CPU
+from .skim import SkimRegister
+
+
+@dataclass
+class RuntimeStats:
+    """Overhead accounting common to all runtimes."""
+
+    checkpoints: int = 0
+    checkpoint_cycles: int = 0
+    restores: int = 0
+    restore_cycles: int = 0
+    war_violations: int = 0
+    watchdog_checkpoints: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class IntermittentRuntime(ABC):
+    """Forward-progress policy plugged into the executor."""
+
+    name = "abstract"
+
+    def __init__(self, skim: SkimRegister = None):
+        self.skim = skim if skim is not None else SkimRegister()
+        self.stats = RuntimeStats()
+        self.cpu: CPU = None
+
+    def attach(self, cpu: CPU) -> None:
+        """Bind to a CPU: install hooks and take the entry checkpoint."""
+        self.cpu = cpu
+        cpu.skim_hook = self.skim.set
+        self._install_hooks(cpu)
+        self._entry_checkpoint()
+
+    def _install_hooks(self, cpu: CPU) -> None:
+        """Subclasses install load/store hooks here (default: none)."""
+
+    @abstractmethod
+    def _entry_checkpoint(self) -> None:
+        """Record whatever initial state a cold boot restores to."""
+
+    @abstractmethod
+    def on_tick(self, cycles_executed: int) -> int:
+        """Called after each ON millisecond with the cycles executed.
+
+        Returns overhead cycles to charge (e.g. a watchdog checkpoint)."""
+
+    @abstractmethod
+    def on_outage(self) -> None:
+        """Power was lost: discard volatile state."""
+
+    @abstractmethod
+    def on_restore(self) -> int:
+        """Power returned: rebuild state, apply skim semantics.
+
+        Returns the restore cost in cycles."""

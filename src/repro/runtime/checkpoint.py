@@ -1,0 +1,34 @@
+"""Checkpoint container for volatile-processor runtimes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class Checkpoint:
+    """A snapshot of the volatile architectural state, held in NVM.
+
+    Contains the register file, NZCV flags and program counter — what a
+    Clank-style system writes to non-volatile memory on a backup. Main
+    data memory is already non-volatile in this system model and is not
+    part of the checkpoint.
+    """
+
+    regs: List[int] = field(default_factory=lambda: [0] * 16)
+    flags: Tuple[bool, bool, bool, bool] = (False, False, False, False)
+    pc: int = 0
+
+    @classmethod
+    def from_cpu(cls, cpu) -> "Checkpoint":
+        regs, flags, pc = cpu.snapshot()
+        return cls(regs=regs, flags=flags, pc=pc)
+
+    def apply_to(self, cpu) -> None:
+        cpu.restore((list(self.regs), tuple(self.flags), self.pc))
+
+    @property
+    def size_words(self) -> int:
+        """NVM words a backup writes: 16 registers + PSR + PC."""
+        return 16 + 1 + 1

@@ -1,0 +1,119 @@
+"""Clank-style checkpointing runtime for a volatile processor.
+
+Clank (Hicks, ISCA'17) keeps main memory non-volatile and the core
+volatile. Hardware tracks addresses that were *read before being
+written* since the last checkpoint; a store to such an address is an
+idempotency (WAR) violation — re-executing the region after an outage
+would read the new value instead of the original — so Clank checkpoints
+the core state *before* letting the store commit. A watchdog bounds
+re-execution by forcing periodic checkpoints. After an outage, the core
+restores the last checkpoint and re-executes from there.
+
+With WN skim points, the restore first consults the non-volatile skim
+register: if armed, the PC is redirected to the skim target and the
+current approximate output is accepted as-is.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..sim.cpu import CPU
+from .base import IntermittentRuntime
+from .checkpoint import Checkpoint
+from .skim import SkimRegister
+
+#: Default backup cost: 18 words (regs + PSR + PC) to FRAM at ~2 cycles
+#: per word plus control overhead.
+DEFAULT_CHECKPOINT_CYCLES = 60
+DEFAULT_RESTORE_CYCLES = 60
+#: Watchdog period: one millisecond at 24 MHz.
+DEFAULT_WATCHDOG_CYCLES = 24_000
+
+
+class ClankRuntime(IntermittentRuntime):
+    """Write-after-read tracking + watchdog checkpointing."""
+
+    name = "clank"
+
+    def __init__(
+        self,
+        checkpoint_cycles: int = DEFAULT_CHECKPOINT_CYCLES,
+        restore_cycles: int = DEFAULT_RESTORE_CYCLES,
+        watchdog_cycles: int = DEFAULT_WATCHDOG_CYCLES,
+        skim: Optional[SkimRegister] = None,
+    ):
+        super().__init__(skim)
+        self.checkpoint_cycles = checkpoint_cycles
+        self.restore_cycles = restore_cycles
+        self.watchdog_cycles = watchdog_cycles
+        self.checkpoint: Optional[Checkpoint] = None
+        self._read_first: Set[int] = set()
+        self._written: Set[int] = set()
+        self._cycles_since_checkpoint = 0
+
+    # -- hook installation -----------------------------------------------------
+
+    def _install_hooks(self, cpu: CPU) -> None:
+        cpu.load_hook = self._on_load
+        cpu.store_hook = self._on_store
+
+    def _entry_checkpoint(self) -> None:
+        self.checkpoint = Checkpoint.from_cpu(self.cpu)
+
+    # -- idempotency tracking ----------------------------------------------------
+
+    def _on_load(self, addr: int, size: int) -> None:
+        written = self._written
+        read_first = self._read_first
+        for byte in range(addr, addr + size):
+            if byte not in written:
+                read_first.add(byte)
+
+    def _on_store(self, addr: int, size: int) -> int:
+        cost = 0
+        read_first = self._read_first
+        for byte in range(addr, addr + size):
+            if byte in read_first:
+                # WAR violation: checkpoint before the store commits so
+                # the region up to here stays idempotent.
+                self.stats.war_violations += 1
+                cost = self._take_checkpoint()
+                break
+        self._written.update(range(addr, addr + size))
+        return cost
+
+    def _take_checkpoint(self) -> int:
+        self.checkpoint = Checkpoint.from_cpu(self.cpu)
+        self._read_first.clear()
+        self._written.clear()
+        self._cycles_since_checkpoint = 0
+        self.stats.checkpoints += 1
+        self.stats.checkpoint_cycles += self.checkpoint_cycles
+        return self.checkpoint_cycles
+
+    # -- executor callbacks ----------------------------------------------------------
+
+    def on_tick(self, cycles_executed: int) -> int:
+        self._cycles_since_checkpoint += cycles_executed
+        if self._cycles_since_checkpoint >= self.watchdog_cycles:
+            self.stats.watchdog_checkpoints += 1
+            return self._take_checkpoint()
+        return 0
+
+    def on_outage(self) -> None:
+        # The core is volatile: registers, flags, PC and the tracking
+        # sets evaporate. Main memory (NVM) keeps its contents; SRAM is
+        # cleared by the executor via Memory.power_loss().
+        self._read_first.clear()
+        self._written.clear()
+        self._cycles_since_checkpoint = 0
+
+    def on_restore(self) -> int:
+        self.stats.restores += 1
+        self.stats.restore_cycles += self.restore_cycles
+        self.checkpoint.apply_to(self.cpu)
+        if self.skim.armed:
+            # Skim point: decouple restore PC from checkpoint PC.
+            self.cpu.pc = self.skim.consume()
+        return self.restore_cycles

@@ -1,0 +1,168 @@
+"""The intermittent executor: CPU x power supply x runtime.
+
+Drives one program to completion under a harvested-power supply,
+invoking the runtime's checkpoint/restore policy around every power
+outage. Time advances in 1 ms ticks; within each ON tick the CPU runs
+as many cycles as the stored energy allows (up to the clock limit).
+
+The result distinguishes *completing precisely* (the program ran to
+``HALT`` through all subword passes) from *completing via a skim point*
+(a power outage hit while the skim register was armed, so the restore
+jumped to the skim target and the approximate output was accepted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..power.supply import PowerSupply
+from ..sim.cpu import CPU
+from .base import IntermittentRuntime, RuntimeStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of one intermittent execution."""
+
+    completed: bool
+    skim_taken: bool
+    timed_out: bool
+    wall_ms: int
+    on_ms: int
+    off_ms: int
+    active_cycles: int
+    outages: int
+    runtime_stats: RuntimeStats = field(default_factory=RuntimeStats)
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.wall_ms / 1000.0
+
+
+class IntermittentExecutor:
+    """Runs one CPU under a power supply with a forward-progress runtime."""
+
+    def __init__(self, cpu: CPU, supply: PowerSupply, runtime: IntermittentRuntime):
+        self.cpu = cpu
+        self.supply = supply
+        self.runtime = runtime
+        runtime.attach(cpu)
+        #: True if the core loses register state on outage (Clank-style).
+        self.volatile_core = runtime.name != "nvp"
+
+    def run(self, max_wall_ms: int = 10_000_000) -> RunResult:
+        cpu = self.cpu
+        supply = self.supply
+        runtime = self.runtime
+
+        start_tick = supply.tick
+        start_cycles = supply.total_cycles
+        start_on = supply.total_on_ms
+        start_off = supply.total_off_ms
+        start_outages = supply.outages
+        skim_taken = False
+        pending_overhead = 0
+        timed_out = False
+        stalled_restores = 0
+        last_restore_signature = None
+
+        while not cpu.halted:
+            if supply.tick - start_tick > max_wall_ms:
+                timed_out = True
+                break
+
+            if not supply.on:
+                supply.charge_until_on()
+                armed_before = runtime.skim.armed
+                pending_overhead = runtime.on_restore()
+                if armed_before and not runtime.skim.armed:
+                    skim_taken = True
+                # Forward-progress guard: restoring to the *identical*
+                # architectural state many times in a row means no
+                # durable progress survives the outages (the per-charge
+                # budget cannot cover restore/checkpoint overheads plus
+                # one checkpoint interval). Fail with a diagnosis
+                # instead of replaying forever.
+                signature = (cpu.pc, tuple(cpu.regs.regs))
+                if signature == last_restore_signature:
+                    stalled_restores += 1
+                    if stalled_restores >= 64:
+                        raise RuntimeError(
+                            "forward-progress livelock: 64 consecutive "
+                            "restores resumed from the same state; no "
+                            "progress survives the power cycles. Enlarge "
+                            "the storage capacitor or shorten the "
+                            "runtime's watchdog/checkpoint period."
+                        )
+                else:
+                    stalled_restores = 0
+                    last_restore_signature = signature
+
+            budget = supply.begin_tick()
+            used = 0
+            if pending_overhead:
+                paid = min(pending_overhead, budget)
+                pending_overhead -= paid
+                used = paid
+
+            # Just-in-time (Hibernus-style) runtimes snapshot right
+            # before the brown-out: on the final tick of a power cycle,
+            # reserve the snapshot's energy up front and spend it after
+            # the program's share of the tick.
+            jit_snapshot = getattr(runtime, "on_low_voltage", None)
+            reserved = 0
+            if jit_snapshot is not None and supply.tick_energy_limited:
+                reserved = min(runtime.snapshot_cycles, budget - used)
+                budget -= reserved
+            # Execute in chunks no larger than the runtime's checkpoint
+            # interval so the watchdog can fire even when one capacitor
+            # charge is shorter than a millisecond of cycles (otherwise
+            # a Clank-style runtime can livelock, re-executing the same
+            # region forever).
+            interval = getattr(runtime, "watchdog_cycles", None)
+            while pending_overhead == 0 and not cpu.halted and used < budget:
+                chunk = budget - used
+                if interval:
+                    chunk = min(chunk, interval)
+                ran = cpu.run_cycles(chunk)
+                used += ran
+                overhead = runtime.on_tick(ran)
+                if overhead:
+                    paid = min(overhead, budget - used)
+                    used += paid
+                    pending_overhead = overhead - paid
+                if ran == 0:
+                    break  # the next instruction cannot fit in this tick
+            if reserved and not cpu.halted:
+                used += min(jit_snapshot(), reserved)
+            supply.consume_cycles(used)
+
+            if not supply.finish_tick():
+                # Power outage: discard volatile state, drop any pending
+                # overhead (it never got to execute).
+                pending_overhead = 0
+                runtime.on_outage()
+                if self.volatile_core:
+                    cpu.memory.power_loss()
+                if cpu.halted:
+                    break
+
+        return RunResult(
+            completed=cpu.halted,
+            skim_taken=skim_taken,
+            timed_out=timed_out,
+            wall_ms=supply.tick - start_tick,
+            on_ms=supply.total_on_ms - start_on,
+            off_ms=supply.total_off_ms - start_off,
+            active_cycles=supply.total_cycles - start_cycles,
+            outages=supply.outages - start_outages,
+            runtime_stats=runtime.stats,
+        )
+
+
+def run_continuous(cpu: CPU, max_instructions: int = 100_000_000) -> int:
+    """Run a program with uninterrupted power; returns total cycles.
+
+    The baseline for runtime-quality curves (paper Figure 9), where
+    runtime is normalized to the conventional precise execution."""
+    return cpu.run(max_instructions)

@@ -1,0 +1,68 @@
+"""The non-volatile skim-point register.
+
+Skim points decouple the *backup* location from the *restore* location
+(paper Section III-C). Executing ``SKM target`` stores the target
+address in this dedicated non-volatile register. On the first restore
+after a power outage the runtime consults the register: if set, the PC
+is redirected to the target (the current approximate result is accepted
+as-is and the application moves on) and the register is cleared.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SkimRegister:
+    """One non-volatile address register plus bookkeeping.
+
+    ``min_quality_level`` makes the register *quality-constrained* (an
+    extension of the paper's flexibility argument): each executed
+    ``SKM`` raises the quality level by one — the compiler emits one
+    skim per completed subword phase — and a restore only takes the
+    skim once at least ``min_quality_level`` phases have completed.
+    Below the threshold the device keeps refining instead of moving on.
+    The default (1) is the paper's behaviour: any armed skim is taken.
+    """
+
+    def __init__(self, min_quality_level: int = 1):
+        if min_quality_level < 1:
+            raise ValueError("min_quality_level must be >= 1")
+        self._target: Optional[int] = None
+        self.min_quality_level = min_quality_level
+        self.quality_level = 0
+        self.set_count = 0
+        self.taken_count = 0
+
+    def set(self, target: int) -> None:
+        """Arm the skim point (called by the CPU's ``SKM`` hook)."""
+        self._target = target
+        self.quality_level += 1
+        self.set_count += 1
+
+    @property
+    def armed(self) -> bool:
+        return (
+            self._target is not None
+            and self.quality_level >= self.min_quality_level
+        )
+
+    def peek(self) -> Optional[int]:
+        return self._target
+
+    def consume(self) -> int:
+        """Take the skim jump: returns the target and clears the register."""
+        if self._target is None:
+            raise RuntimeError("skim register is not armed")
+        target = self._target
+        self._target = None
+        self.taken_count += 1
+        return target
+
+    def clear(self) -> None:
+        """Disarm without taking the jump (e.g. new input accepted)."""
+        self._target = None
+        self.quality_level = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SkimRegister(target={self._target!r}, set={self.set_count}, taken={self.taken_count})"

@@ -1,0 +1,98 @@
+"""The 32-bit adder with subword-vectorization support.
+
+The WN hardware inserts a mux after every four (1-bit) full adders —
+seven muxes total in a 32-bit ripple chain (paper Figure 8). For a
+normal 32-bit add all muxes pass the carry through; for an
+``ADD_ASV<L>`` the muxes at lane boundaries force a zero carry-in,
+splitting the adder into independent L-bit lanes (L must be a multiple
+of 4). The paper's synthesis results: the muxes cost +0.02% core area,
++4% adder power and leave Fmax (1.12 GHz) far above the 24 MHz clock.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+MASK32 = 0xFFFFFFFF
+
+#: Mux positions: a mux sits before carry-in of bits 4, 8, ..., 28.
+MUX_POSITIONS = tuple(range(4, 32, 4))
+NUM_MUXES = len(MUX_POSITIONS)
+
+
+class SubwordAdder:
+    """Functional model of the reconfigurable 32-bit adder."""
+
+    def __init__(self):
+        self.add_count = 0
+        self.vector_add_count = 0
+
+    # -- full-width operations ---------------------------------------------
+
+    def add32(self, a: int, b: int, carry_in: int = 0) -> Tuple[int, bool, bool]:
+        """32-bit add. Returns (result, carry_out, signed_overflow)."""
+        self.add_count += 1
+        a &= MASK32
+        b &= MASK32
+        total = a + b + (1 if carry_in else 0)
+        result = total & MASK32
+        carry = total > MASK32
+        overflow = ((a ^ result) & (b ^ result) & 0x80000000) != 0
+        return result, carry, overflow
+
+    def sub32(self, a: int, b: int, carry_in: int = 1) -> Tuple[int, bool, bool]:
+        """32-bit subtract via two's complement. Carry = no-borrow."""
+        result, carry, _ = self.add32(a, (~b) & MASK32, carry_in)
+        a &= MASK32
+        b &= MASK32
+        overflow = ((a ^ b) & (a ^ result) & 0x80000000) != 0
+        self.add_count -= 1  # counted once below
+        self.add_count += 1
+        return result, carry, overflow
+
+    # -- vector operations ---------------------------------------------------
+
+    @staticmethod
+    def _check_lane(lane_bits: int) -> None:
+        if lane_bits not in (4, 8, 16):
+            raise ValueError(
+                f"lane width {lane_bits} unsupported: muxes sit every 4 bits "
+                "and the ISA defines ASV4/ASV8/ASV16"
+            )
+
+    def add_vector(self, a: int, b: int, lane_bits: int) -> int:
+        """Lane-wise add: carries are cut at lane boundaries (lost)."""
+        self._check_lane(lane_bits)
+        self.vector_add_count += 1
+        mask = (1 << lane_bits) - 1
+        result = 0
+        for shift in range(0, 32, lane_bits):
+            lane = ((a >> shift) & mask) + ((b >> shift) & mask)
+            result |= (lane & mask) << shift
+        return result
+
+    def sub_vector(self, a: int, b: int, lane_bits: int) -> int:
+        """Lane-wise subtract (mod 2^lane_bits per lane)."""
+        self._check_lane(lane_bits)
+        self.vector_add_count += 1
+        mask = (1 << lane_bits) - 1
+        result = 0
+        for shift in range(0, 32, lane_bits):
+            lane = ((a >> shift) & mask) - ((b >> shift) & mask)
+            result |= (lane & mask) << shift
+        return result
+
+    def lanes(self, value: int, lane_bits: int) -> List[int]:
+        """Split a 32-bit value into its lanes, least significant first."""
+        self._check_lane(lane_bits)
+        mask = (1 << lane_bits) - 1
+        return [(value >> shift) & mask for shift in range(0, 32, lane_bits)]
+
+    @staticmethod
+    def pack_lanes(lanes: List[int], lane_bits: int) -> int:
+        """Inverse of :meth:`lanes`."""
+        mask = (1 << lane_bits) - 1
+        value = 0
+        for i, lane in enumerate(lanes):
+            value |= (lane & mask) << (i * lane_bits)
+        return value & MASK32

@@ -1,0 +1,339 @@
+"""Cycle-level CPU model of the WN-extended M0+-like core.
+
+The core mirrors the paper's simulation target: a 2-stage pipeline with
+no caches and no branch predictor, single-cycle ALU ops, 2-cycle
+loads/stores, 2-cycle taken branches and an iterative multiplier
+(16 cycles for a full 16x16 product). The What's Next extensions —
+``MUL_ASP<B>``, ``ADD_ASV<L>``/``SUB_ASV<L>`` and ``SKM`` — execute on
+the :class:`~repro.sim.multiplier.Multiplier` and
+:class:`~repro.sim.adder.SubwordAdder` functional units.
+
+The CPU exposes three hooks used by the intermittent runtimes:
+
+* ``load_hook(addr, size)`` — called before each load commits.
+* ``store_hook(addr, size)`` — called before each store commits; may
+  return extra cycles to charge (Clank charges a checkpoint here when a
+  store would violate idempotency).
+* ``skim_hook(target)`` — called when a ``SKM`` retires; the runtime
+  records the target in the non-volatile skim register.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..isa.instructions import (
+    BRANCH_CONDS,
+    Instruction,
+    MUL_CYCLES,
+    asp_width,
+    asv_width,
+    cycle_cost,
+)
+from ..isa.program import Program
+from ..isa.registers import Flags, MASK32, RegisterFile, to_signed
+from .adder import SubwordAdder
+from .memory import Memory
+from .multiplier import Multiplier
+from .stats import ExecutionStats
+
+
+class CpuFault(Exception):
+    """Raised on an architectural error (bad PC, running while halted)."""
+
+
+class CPU:
+    """Interpreter for one program on one memory."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Memory,
+        multiplier: Optional[Multiplier] = None,
+        adder: Optional[SubwordAdder] = None,
+    ):
+        self.program = program
+        self.memory = memory
+        self.multiplier = multiplier or Multiplier()
+        self.adder = adder or SubwordAdder()
+        self.regs = RegisterFile()
+        self.flags = Flags()
+        self.pc = 0
+        self.halted = False
+        self.stats = ExecutionStats()
+
+        self.load_hook: Optional[Callable[[int, int], None]] = None
+        self.store_hook: Optional[Callable[[int, int], int]] = None
+        self.skim_hook: Optional[Callable[[int], None]] = None
+
+        self._instructions = program.instructions
+
+    # -- architectural state ---------------------------------------------------
+
+    def snapshot(self) -> Tuple[List[int], tuple, int]:
+        """Capture (registers, flags, pc) — the volatile core state."""
+        return (self.regs.snapshot(), self.flags.snapshot(), self.pc)
+
+    def restore(self, snap: Tuple[List[int], tuple, int]) -> None:
+        regs, flags, pc = snap
+        self.regs.restore(regs)
+        self.flags.restore(flags)
+        self.pc = pc
+        self.halted = False
+
+    def reset(self, pc: int = 0) -> None:
+        self.regs = RegisterFile()
+        self.flags = Flags()
+        self.pc = pc
+        self.halted = False
+
+    # -- execution --------------------------------------------------------------
+
+    def peek_cost(self) -> int:
+        """Worst-case cycle cost of the next instruction.
+
+        Used by the intermittent executor to decide whether the next
+        instruction fits in the remaining energy budget (an instruction
+        that would outlive the supply does not commit).
+        """
+        if self.halted:
+            return 0
+        instr = self._instructions[self.pc]
+        if instr.op == "MUL":
+            return MUL_CYCLES
+        return cycle_cost(instr, taken=True)
+
+    def step(self) -> int:
+        """Execute one instruction; returns the cycles it consumed."""
+        if self.halted:
+            raise CpuFault("CPU is halted")
+        if not 0 <= self.pc < len(self._instructions):
+            raise CpuFault(f"PC out of range: {self.pc}")
+        instr = self._instructions[self.pc]
+        op = instr.op
+        regs = self.regs.regs
+
+        # -- memory ops (most frequent) --------------------------------------
+        if op in ("LDR", "LDRB", "LDRH", "STR", "STRB", "STRH"):
+            addr = regs[instr.rn] + (regs[instr.rm] if instr.rm is not None else instr.imm)
+            addr &= MASK32
+            size = 4 if op.endswith("R") else (1 if op.endswith("B") else 2)
+            if op[0] == "L":
+                if self.load_hook is not None:
+                    self.load_hook(addr, size)
+                if size == 4:
+                    regs[instr.rd] = self.memory.load_word(addr)
+                elif size == 1:
+                    regs[instr.rd] = self.memory.load_byte(addr)
+                else:
+                    regs[instr.rd] = self.memory.load_half(addr)
+                cycles = 2
+            else:
+                cycles = 2
+                if self.store_hook is not None:
+                    cycles += self.store_hook(addr, size)
+                value = regs[instr.rd]
+                if size == 4:
+                    self.memory.store_word(addr, value)
+                elif size == 1:
+                    self.memory.store_byte(addr, value)
+                else:
+                    self.memory.store_half(addr, value)
+            self.pc += 1
+            self.stats.record(op, cycles, is_wn=False)
+            return cycles
+
+        # -- branches ----------------------------------------------------------
+        if op in BRANCH_CONDS:
+            taken = self.flags.condition(BRANCH_CONDS[op])
+            if taken:
+                self.pc = instr.target
+                cycles = 2
+            else:
+                self.pc += 1
+                cycles = 1
+            self.stats.record(op, cycles, is_wn=False, taken=taken)
+            return cycles
+        if op == "B":
+            self.pc = instr.target
+            self.stats.record(op, 2, is_wn=False, taken=True)
+            return 2
+        if op == "BL":
+            regs[14] = self.pc + 1
+            self.pc = instr.target
+            self.stats.record(op, 3, is_wn=False, taken=True)
+            return 3
+        if op == "BX":
+            self.pc = regs[instr.rm]
+            self.stats.record(op, 2, is_wn=False, taken=True)
+            return 2
+
+        # -- multiplies ---------------------------------------------------------
+        if op == "MUL":
+            result, cycles = self.multiplier.mul(regs[instr.rd], regs[instr.rm])
+            regs[instr.rd] = result
+            self.flags.set_nz(result)
+            self.pc += 1
+            self.stats.record(op, cycles, is_wn=False)
+            return cycles
+        if op.startswith("MUL_ASP"):
+            width = asp_width(op)
+            if op.startswith("MUL_ASPS"):
+                result, cycles = self.multiplier.mul_asp_signed(
+                    regs[instr.rd], regs[instr.rm], width, instr.imm
+                )
+            else:
+                result, cycles = self.multiplier.mul_asp(
+                    regs[instr.rd], regs[instr.rm], width, instr.imm
+                )
+            regs[instr.rd] = result
+            self.flags.set_nz(result)
+            self.pc += 1
+            self.stats.record(op, cycles, is_wn=True)
+            return cycles
+
+        # -- vector ops ------------------------------------------------------------
+        if "_ASV" in op:
+            width = asv_width(op)
+            if op.startswith("ADD"):
+                regs[instr.rd] = self.adder.add_vector(regs[instr.rd], regs[instr.rm], width)
+            else:
+                regs[instr.rd] = self.adder.sub_vector(regs[instr.rd], regs[instr.rm], width)
+            self.pc += 1
+            self.stats.record(op, 1, is_wn=True)
+            return 1
+
+        # -- skim point ----------------------------------------------------------------
+        if op == "SKM":
+            if self.skim_hook is not None:
+                self.skim_hook(instr.target)
+            self.pc += 1
+            self.stats.record(op, 1, is_wn=True)
+            return 1
+
+        # -- control -----------------------------------------------------------------
+        if op == "HALT":
+            self.halted = True
+            self.stats.record(op, 1, is_wn=False)
+            return 1
+        if op == "NOP":
+            self.pc += 1
+            self.stats.record(op, 1, is_wn=False)
+            return 1
+
+        return self._step_alu(instr)
+
+    def _step_alu(self, instr: Instruction) -> int:
+        """Single-cycle ALU instructions."""
+        op = instr.op
+        regs = self.regs.regs
+        flags = self.flags
+        src = regs[instr.rm] if instr.rm is not None else instr.imm
+
+        if op == "MOV":
+            result = src & MASK32
+            regs[instr.rd] = result
+            flags.set_nz(result)
+        elif op == "MVN":
+            result = (~src) & MASK32
+            regs[instr.rd] = result
+            flags.set_nz(result)
+        elif op in ("ADD", "ADC"):
+            carry_in = flags.c if op == "ADC" else 0
+            result, flags.c, flags.v = self.adder.add32(regs[instr.rn], src, carry_in)
+            regs[instr.rd] = result
+            flags.set_nz(result)
+        elif op in ("SUB", "SBC"):
+            carry_in = flags.c if op == "SBC" else 1
+            result, flags.c, flags.v = self.adder.sub32(regs[instr.rn], src, carry_in)
+            regs[instr.rd] = result
+            flags.set_nz(result)
+        elif op == "RSB":
+            result, flags.c, flags.v = self.adder.sub32(src, regs[instr.rn], 1)
+            regs[instr.rd] = result
+            flags.set_nz(result)
+        elif op == "NEG":
+            result, flags.c, flags.v = self.adder.sub32(0, src, 1)
+            regs[instr.rd] = result
+            flags.set_nz(result)
+        elif op == "CMP":
+            result, flags.c, flags.v = self.adder.sub32(regs[instr.rn], src, 1)
+            flags.set_nz(result)
+        elif op == "CMN":
+            result, flags.c, flags.v = self.adder.add32(regs[instr.rn], src, 0)
+            flags.set_nz(result)
+        elif op == "TST":
+            flags.set_nz(regs[instr.rn] & src)
+        elif op == "AND":
+            result = regs[instr.rn] & src
+            regs[instr.rd] = result
+            flags.set_nz(result)
+        elif op == "ORR":
+            result = regs[instr.rn] | src
+            regs[instr.rd] = result
+            flags.set_nz(result)
+        elif op == "EOR":
+            result = regs[instr.rn] ^ src
+            regs[instr.rd] = result
+            flags.set_nz(result)
+        elif op == "BIC":
+            result = regs[instr.rn] & ~src & MASK32
+            regs[instr.rd] = result
+            flags.set_nz(result)
+        elif op == "LSL":
+            shift = min(src & 0xFF, 32)
+            result = (regs[instr.rn] << shift) & MASK32
+            regs[instr.rd] = result
+            flags.set_nz(result)
+        elif op == "LSR":
+            shift = min(src & 0xFF, 32)
+            result = (regs[instr.rn] & MASK32) >> shift
+            regs[instr.rd] = result
+            flags.set_nz(result)
+        elif op == "ASR":
+            shift = min(src & 0xFF, 32)
+            result = (to_signed(regs[instr.rn]) >> shift) & MASK32
+            regs[instr.rd] = result
+            flags.set_nz(result)
+        elif op == "SXTB":
+            regs[instr.rd] = to_signed(src, 8) & MASK32
+        elif op == "SXTH":
+            regs[instr.rd] = to_signed(src, 16) & MASK32
+        elif op == "UXTB":
+            regs[instr.rd] = src & 0xFF
+        elif op == "UXTH":
+            regs[instr.rd] = src & 0xFFFF
+        else:  # pragma: no cover - all ops are enumerated above
+            raise CpuFault(f"unimplemented opcode {op!r}")
+
+        self.pc += 1
+        self.stats.record(op, 1, is_wn=False)
+        return 1
+
+    # -- run loops -----------------------------------------------------------------
+
+    def run(self, max_instructions: int = 100_000_000) -> int:
+        """Run until HALT; returns total cycles. Raises if the limit trips."""
+        total = 0
+        executed = 0
+        while not self.halted:
+            total += self.step()
+            executed += 1
+            if executed > max_instructions:
+                raise CpuFault("instruction limit exceeded (runaway program?)")
+        return total
+
+    def run_cycles(self, budget: int) -> int:
+        """Run until the cycle budget is exhausted or the program halts.
+
+        An instruction only commits if its worst-case cost fits in the
+        remaining budget (power dies mid-instruction otherwise). Returns
+        the cycles actually consumed (<= budget).
+        """
+        consumed = 0
+        while not self.halted:
+            cost = self.peek_cost()
+            if consumed + cost > budget:
+                break
+            consumed += self.step()
+        return consumed

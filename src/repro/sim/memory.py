@@ -1,0 +1,180 @@
+"""Byte-addressable memory with volatile and non-volatile regions.
+
+Energy-harvesting platforms pair a volatile SRAM with non-volatile
+storage (Flash/FRAM). Following Clank's system model, *main data memory
+is non-volatile* (it survives power outages), while the register file
+and pipeline state of a conventional core are volatile. The NVP keeps
+everything non-volatile.
+
+The default memory map is::
+
+    0x0000_0000 .. NVM  (FRAM-like; survives outages)   1 MiB
+    0x2000_0000 .. SRAM (volatile; cleared on outage)   256 KiB
+
+Words are little-endian. All accesses go through :class:`Memory` so the
+intermittent runtimes can observe them (Clank's idempotency tracking
+hooks in at the CPU level).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+NVM_BASE = 0x0000_0000
+NVM_SIZE = 1 << 20
+SRAM_BASE = 0x2000_0000
+SRAM_SIZE = 256 << 10
+
+_U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+
+
+class MemoryError_(Exception):
+    """Raised on out-of-range or misaligned accesses."""
+
+
+class Region:
+    """One contiguous memory region."""
+
+    __slots__ = ("name", "base", "size", "volatile", "data")
+
+    #: RAM regions have no device; DeviceRegion (peripherals) overrides.
+    device = None
+
+    def __init__(self, name: str, base: int, size: int, volatile: bool):
+        self.name = name
+        self.base = base
+        self.size = size
+        self.volatile = volatile
+        self.data = bytearray(size)
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        return self.base <= addr and addr + length <= self.base + self.size
+
+    def clear(self) -> None:
+        self.data = bytearray(self.size)
+
+
+class Memory:
+    """Flat address space composed of regions."""
+
+    def __init__(self, regions: Optional[Sequence[Region]] = None):
+        if regions is None:
+            regions = (
+                Region("nvm", NVM_BASE, NVM_SIZE, volatile=False),
+                Region("sram", SRAM_BASE, SRAM_SIZE, volatile=True),
+            )
+        self.regions: List[Region] = list(regions)
+        self._by_name: Dict[str, Region] = {r.name: r for r in self.regions}
+
+    # -- region management --------------------------------------------------
+
+    def region(self, name: str) -> Region:
+        return self._by_name[name]
+
+    def _find(self, addr: int, length: int) -> Region:
+        for region in self.regions:
+            if region.contains(addr, length):
+                return region
+        raise MemoryError_(f"access to unmapped address {addr:#010x} (+{length})")
+
+    def power_loss(self) -> None:
+        """Model a power outage: volatile regions lose their contents."""
+        for region in self.regions:
+            if region.volatile:
+                region.clear()
+
+    def is_nonvolatile(self, addr: int) -> bool:
+        return not self._find(addr, 1).volatile
+
+    # -- scalar access ------------------------------------------------------
+
+    def load_word(self, addr: int) -> int:
+        region = self._find(addr, 4)
+        if region.device is not None:
+            return region.device.read(addr - region.base, 4) & 0xFFFFFFFF
+        off = addr - region.base
+        return _U32.unpack_from(region.data, off)[0]
+
+    def store_word(self, addr: int, value: int) -> None:
+        region = self._find(addr, 4)
+        if region.device is not None:
+            region.device.write(addr - region.base, 4, value & 0xFFFFFFFF)
+            return
+        _U32.pack_into(region.data, addr - region.base, value & 0xFFFFFFFF)
+
+    def load_half(self, addr: int) -> int:
+        region = self._find(addr, 2)
+        if region.device is not None:
+            return region.device.read(addr - region.base, 2) & 0xFFFF
+        return _U16.unpack_from(region.data, addr - region.base)[0]
+
+    def store_half(self, addr: int, value: int) -> None:
+        region = self._find(addr, 2)
+        if region.device is not None:
+            region.device.write(addr - region.base, 2, value & 0xFFFF)
+            return
+        _U16.pack_into(region.data, addr - region.base, value & 0xFFFF)
+
+    def load_byte(self, addr: int) -> int:
+        region = self._find(addr, 1)
+        if region.device is not None:
+            return region.device.read(addr - region.base, 1) & 0xFF
+        return region.data[addr - region.base]
+
+    def store_byte(self, addr: int, value: int) -> None:
+        region = self._find(addr, 1)
+        if region.device is not None:
+            region.device.write(addr - region.base, 1, value & 0xFF)
+            return
+        region.data[addr - region.base] = value & 0xFF
+
+    # -- bulk helpers (used by workloads to stage inputs/outputs) ------------
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        region = self._find(addr, len(data))
+        off = addr - region.base
+        region.data[off:off + len(data)] = data
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        region = self._find(addr, length)
+        off = addr - region.base
+        return bytes(region.data[off:off + length])
+
+    def write_words(self, addr: int, values: Iterable[int]) -> None:
+        values = list(values)
+        packed = b"".join(_U32.pack(v & 0xFFFFFFFF) for v in values)
+        self.write_bytes(addr, packed)
+
+    def read_words(self, addr: int, count: int) -> List[int]:
+        raw = self.read_bytes(addr, count * 4)
+        return [x[0] for x in _U32.iter_unpack(raw)]
+
+    def write_halves(self, addr: int, values: Iterable[int]) -> None:
+        packed = b"".join(_U16.pack(v & 0xFFFF) for v in values)
+        self.write_bytes(addr, packed)
+
+    def read_halves(self, addr: int, count: int) -> List[int]:
+        raw = self.read_bytes(addr, count * 2)
+        return [x[0] for x in _U16.iter_unpack(raw)]
+
+    # -- snapshots (for checkpointing volatile state) -------------------------
+
+    def snapshot_volatile(self) -> Dict[str, bytes]:
+        return {r.name: bytes(r.data) for r in self.regions if r.volatile}
+
+    def restore_volatile(self, snap: Dict[str, bytes]) -> None:
+        for name, data in snap.items():
+            region = self._by_name[name]
+            region.data = bytearray(data)
+
+
+def default_memory() -> Memory:
+    """A fresh memory with the standard NVM + SRAM map."""
+    return Memory()
+
+
+def word_range(base: int, count: int) -> Tuple[int, int]:
+    """(first address, one-past-last address) of ``count`` words at ``base``."""
+    return base, base + 4 * count

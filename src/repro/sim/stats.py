@@ -1,0 +1,82 @@
+"""Execution statistics gathered by the CPU."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ExecutionStats:
+    """Counts of retired instructions and consumed cycles."""
+
+    instructions: int = 0
+    cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    multiplies: int = 0
+    wn_instructions: int = 0
+    op_counts: Counter = field(default_factory=Counter)
+
+    def record(self, op: str, cycles: int, *, is_wn: bool, taken: bool = False) -> None:
+        self.instructions += 1
+        self.cycles += cycles
+        self.op_counts[op] += 1
+        if op.startswith("LDR"):
+            self.loads += 1
+        elif op.startswith("STR"):
+            self.stores += 1
+        elif op.startswith("B") and op != "BIC":
+            self.branches += 1
+            if taken:
+                self.taken_branches += 1
+        if op == "MUL" or op.startswith("MUL_ASP"):
+            self.multiplies += 1
+        if is_wn:
+            self.wn_instructions += 1
+
+    @property
+    def wn_fraction(self) -> float:
+        """Fraction of dynamic instructions that are WN extension ops.
+
+        This is the paper's Table I "Insn %" metric: the share of
+        dynamic instructions amenable to (and rewritten by) WN.
+        """
+        return self.wn_instructions / self.instructions if self.instructions else 0.0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.instructions += other.instructions
+        self.cycles += other.cycles
+        self.loads += other.loads
+        self.stores += other.stores
+        self.branches += other.branches
+        self.taken_branches += other.taken_branches
+        self.multiplies += other.multiplies
+        self.wn_instructions += other.wn_instructions
+        self.op_counts.update(other.op_counts)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "loads": self.loads,
+            "stores": self.stores,
+            "branches": self.branches,
+            "taken_branches": self.taken_branches,
+            "multiplies": self.multiplies,
+            "wn_instructions": self.wn_instructions,
+        }
+
+    def reset(self) -> None:
+        self.instructions = 0
+        self.cycles = 0
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+        self.taken_branches = 0
+        self.multiplies = 0
+        self.wn_instructions = 0
+        self.op_counts.clear()

@@ -1,0 +1,110 @@
+"""Execution tracing and profiling utilities for the simulator.
+
+Debug tooling a firmware engineer expects from a simulator:
+
+* :class:`ExecutionTracer` — records retired instructions (pc, text,
+  cycle) into a bounded ring; renders a disassembly-style trace.
+* :class:`CycleProfiler` — attributes cycles to instruction indices;
+  renders a hottest-lines table (a poor man's gprof for the kernel).
+* :func:`disassemble` — a listing with per-instruction static cycle
+  costs.
+
+Both hooks wrap ``CPU.step`` non-invasively, so they can be attached to
+any existing CPU (including one driven by the intermittent executor).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, List, Optional, Tuple
+
+from ..isa.instructions import cycle_cost
+from ..isa.program import Program
+from .cpu import CPU
+
+
+class ExecutionTracer:
+    """Bounded ring of retired instructions."""
+
+    def __init__(self, cpu: CPU, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.cpu = cpu
+        self.capacity = capacity
+        self.entries: Deque[Tuple[int, int, str, int]] = deque(maxlen=capacity)
+        self._original_step = cpu.step
+        cpu.step = self._traced_step  # type: ignore[method-assign]
+
+    def _traced_step(self) -> int:
+        pc = self.cpu.pc
+        instr = self.cpu.program.instructions[pc]
+        cycles = self._original_step()
+        self.entries.append((self.cpu.stats.cycles, pc, instr.text or instr.op, cycles))
+        return cycles
+
+    def detach(self) -> None:
+        self.cpu.step = self._original_step  # type: ignore[method-assign]
+
+    def render(self, last: Optional[int] = None) -> str:
+        entries = list(self.entries)[-(last or self.capacity):]
+        lines = [f"{'cycle':>10}  {'pc':>5}  {'cost':>4}  instruction"]
+        for cycle, pc, text, cost in entries:
+            lines.append(f"{cycle:>10}  {pc:>5}  {cost:>4}  {text}")
+        return "\n".join(lines)
+
+
+class CycleProfiler:
+    """Per-instruction-index cycle attribution."""
+
+    def __init__(self, cpu: CPU):
+        self.cpu = cpu
+        self.cycles_by_pc: Counter = Counter()
+        self.visits_by_pc: Counter = Counter()
+        self._original_step = cpu.step
+        cpu.step = self._profiled_step  # type: ignore[method-assign]
+
+    def _profiled_step(self) -> int:
+        pc = self.cpu.pc
+        cycles = self._original_step()
+        self.cycles_by_pc[pc] += cycles
+        self.visits_by_pc[pc] += 1
+        return cycles
+
+    def detach(self) -> None:
+        self.cpu.step = self._original_step  # type: ignore[method-assign]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.cycles_by_pc.values())
+
+    def hottest(self, count: int = 10) -> List[Tuple[int, int, int]]:
+        """[(pc, cycles, visits)] for the costliest instructions."""
+        return [
+            (pc, cycles, self.visits_by_pc[pc])
+            for pc, cycles in self.cycles_by_pc.most_common(count)
+        ]
+
+    def render(self, count: int = 10) -> str:
+        total = max(1, self.total_cycles)
+        lines = [f"{'pc':>5}  {'cycles':>10}  {'visits':>8}  {'share':>6}  instruction"]
+        for pc, cycles, visits in self.hottest(count):
+            instr = self.cpu.program.instructions[pc]
+            lines.append(
+                f"{pc:>5}  {cycles:>10}  {visits:>8}  "
+                f"{100.0 * cycles / total:>5.1f}%  {instr.text or instr.op}"
+            )
+        return "\n".join(lines)
+
+
+def disassemble(program: Program) -> str:
+    """Listing with static per-instruction cycle costs."""
+    by_index = {}
+    for label, index in program.labels.items():
+        by_index.setdefault(index, []).append(label)
+    lines = [f"{'pc':>5}  {'cost':>4}  instruction"]
+    for i, instr in enumerate(program.instructions):
+        for label in sorted(by_index.get(i, [])):
+            lines.append(f"{label}:")
+        cost = cycle_cost(instr, taken=True)
+        lines.append(f"{i:>5}  {cost:>4}  {instr.text or instr.op}")
+    return "\n".join(lines)

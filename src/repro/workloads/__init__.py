@@ -1,0 +1,50 @@
+"""The paper's benchmark suite (Table I) and case studies."""
+
+from typing import Dict
+
+from .base import SCALES, Workload, check_scale, flatten_outputs
+from . import conv2d, glucose, home, matadd, matmul, netmotion, var
+from . import data
+
+#: Table I order.
+BENCHMARKS = ("Conv2d", "MatMul", "MatAdd", "Home", "Var", "NetMotion")
+
+_FACTORIES = {
+    "Conv2d": conv2d.make,
+    "MatMul": matmul.make,
+    "MatAdd": matadd.make,
+    "Home": home.make,
+    "Var": var.make,
+    "NetMotion": netmotion.make,
+}
+
+
+def make_workload(name: str, scale: str = "default", **kwargs) -> Workload:
+    """Build one Table I benchmark by name."""
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown benchmark {name!r}; choose from {BENCHMARKS}")
+    return _FACTORIES[name](scale=scale, **kwargs)
+
+
+def all_workloads(scale: str = "default", **kwargs) -> Dict[str, Workload]:
+    """The full Table I suite."""
+    return {name: make_workload(name, scale, **kwargs) for name in BENCHMARKS}
+
+
+__all__ = [
+    "BENCHMARKS",
+    "SCALES",
+    "Workload",
+    "all_workloads",
+    "check_scale",
+    "conv2d",
+    "data",
+    "flatten_outputs",
+    "glucose",
+    "home",
+    "make_workload",
+    "matadd",
+    "matmul",
+    "netmotion",
+    "var",
+]

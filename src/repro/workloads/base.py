@@ -1,0 +1,56 @@
+"""Common workload infrastructure.
+
+Each workload module reproduces one row of the paper's Table I: it
+builds the annotated kernel (with its ``asp``/``asv`` pragma), generates
+representative inputs, and decodes raw outputs into engineering units
+for quality measurement. The ``scale`` parameter shrinks the paper's
+problem sizes so the pure-Python cycle simulator stays fast; the paper
+shapes are available via ``scale="paper"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from ..compiler.ir import Kernel
+
+#: Problem-size presets. "tiny" is for unit tests, "default" for the
+#: benchmark harness, "paper" matches the publication.
+SCALES = ("tiny", "default", "paper")
+
+
+@dataclass
+class Workload:
+    """A benchmark: kernel builder + inputs + output decoding."""
+
+    name: str
+    area: str
+    description: str
+    technique: str  # "swp" or "swv"
+    kernel: Kernel
+    inputs: Dict[str, List[int]]
+    decode: Callable[[Dict[str, List[int]]], List[float]]
+    provisioned: bool = False
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def decoded_reference(self) -> List[float]:
+        """Precise output in engineering units (via the IR interpreter)."""
+        from ..compiler.ir import evaluate
+
+        result = evaluate(self.kernel, self.inputs)
+        outputs = {a.name: result[a.name] for a in self.kernel.outputs()}
+        return self.decode(outputs)
+
+
+def check_scale(scale: str) -> None:
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+
+
+def flatten_outputs(outputs: Dict[str, Sequence[int]]) -> List[float]:
+    """Default decoder: concatenate outputs in name order as floats."""
+    values: List[float] = []
+    for name in sorted(outputs):
+        values.extend(float(v) for v in outputs[name])
+    return values

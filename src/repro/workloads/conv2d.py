@@ -1,0 +1,98 @@
+"""Conv2d: Gaussian filtering of a grayscale image (paper Table I).
+
+The paper applies a 9x9 Gaussian to a 128x128 image; the kernel is the
+suite's heaviest and its anytime transform is subword pipelining on the
+image pixels. The default scale shrinks the image (the filter stays
+9x9) so the pure-Python simulator remains fast; ``scale="paper"``
+restores 128x128.
+
+Outputs accumulate raw fixed-point products into 32-bit words; decoding
+divides by the filter's fixed-point scale (coefficients sum to 256), so
+a decoded output pixel is again in 0..255.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..compiler.ir import Array, Assign, BinOp, Const, Kernel, Load, Loop, Pragma, Store, Var
+from .base import Workload, check_scale
+from .data import gaussian_filter, synthetic_image
+
+FRAC_BITS = 8
+
+#: (output side, filter side) per scale.
+SHAPES = {"tiny": (6, 5), "default": (12, 9), "paper": (120, 9)}
+
+
+def build_kernel(out_side: int, k: int, bits: int = 8) -> Kernel:
+    """OUT[y*W+x] = sum_{ky,kx} IMG[(y+ky)*inW + (x+kx)] * F[ky*k+kx]."""
+    in_side = out_side + k - 1
+    body = [
+        Loop("y", 0, out_side, [
+            Loop("x", 0, out_side, [
+                Assign("acc", Const(0)),
+                Loop("ky", 0, k, [
+                    Loop("kx", 0, k, [
+                        Assign(
+                            "acc",
+                            BinOp(
+                                "+",
+                                Var("acc"),
+                                BinOp(
+                                    "*",
+                                    Load("F", BinOp("+", BinOp("*", Var("ky"), Const(k)), Var("kx"))),
+                                    Load(
+                                        "IMG",
+                                        BinOp(
+                                            "+",
+                                            BinOp("*", BinOp("+", Var("y"), Var("ky")), Const(in_side)),
+                                            BinOp("+", Var("x"), Var("kx")),
+                                        ),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ]),
+                ]),
+                Store("OUT", BinOp("+", BinOp("*", Var("y"), Const(out_side)), Var("x")), Var("acc")),
+            ]),
+        ]),
+    ]
+    return Kernel(
+        name="conv2d",
+        arrays={
+            "IMG": Array("IMG", in_side * in_side, 16, "input", pragma=Pragma("asp", bits)),
+            "F": Array("F", k * k, 16, "input"),
+            "OUT": Array("OUT", out_side * out_side, 32, "output"),
+        },
+        body=body,
+        scalars=("acc",),
+    )
+
+
+def decode(outputs: Dict[str, List[int]]) -> List[float]:
+    """Raw accumulators -> filtered pixel values (0..255 scale).
+
+    Divides out the filter's fixed-point scale and the 16-bit pixel
+    depth (pixels are 16-bit grayscale; 256 counts per display level)."""
+    return [v / (1 << FRAC_BITS) / 256.0 for v in outputs["OUT"]]
+
+
+def make(scale: str = "default", seed: int = 0, bits: int = 8) -> Workload:
+    check_scale(scale)
+    out_side, k = SHAPES[scale]
+    in_side = out_side + k - 1
+    return Workload(
+        name="Conv2d",
+        area="Image Processing",
+        description=f"{k}x{k} Gaussian filter on a {in_side}x{in_side} grayscale image",
+        technique="swp",
+        kernel=build_kernel(out_side, k, bits),
+        inputs={
+            "IMG": synthetic_image(in_side, in_side, seed, depth_bits=16),
+            "F": gaussian_filter(k, FRAC_BITS),
+        },
+        decode=decode,
+        params={"out_side": out_side, "k": k, "in_side": in_side},
+    )

@@ -1,0 +1,88 @@
+"""Deterministic synthetic input generators for the benchmark suite.
+
+Energy-harvesting devices read their inputs from sensors; these
+generators produce sensor-shaped data (images, temperature/humidity
+series, motion magnitudes) deterministically from a seed so every
+experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+
+def synthetic_image(height: int, width: int, seed: int = 0, depth_bits: int = 8) -> List[int]:
+    """A grayscale test image: gradient + blobs + texture.
+
+    ``depth_bits`` sets the sample depth: 8 for classic 0-255 pixels, 16
+    for sensor-depth grayscale (structure in the high byte, fine detail
+    in the low byte — the regime where subword pipelining trades
+    precision for time). Structured content (edges, smooth regions)
+    makes convolution quality visually meaningful, unlike white noise.
+    """
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:height, 0:width].astype(float)
+    image = 40.0 + 120.0 * (x / max(width - 1, 1))
+    # Two Gaussian blobs.
+    for cy, cx, amp, sigma in (
+        (height * 0.3, width * 0.35, 90.0, max(2.0, height / 6)),
+        (height * 0.7, width * 0.65, -60.0, max(2.0, height / 5)),
+    ):
+        image += amp * np.exp(-((y - cy) ** 2 + (x - cx) ** 2) / (2 * sigma**2))
+    # Mild texture.
+    image += rng.normal(0, 6.0, size=image.shape)
+    image = np.clip(image, 0, 255)
+    if depth_bits == 8:
+        return [int(v) for v in image.ravel()]
+    if depth_bits != 16:
+        raise ValueError("depth_bits must be 8 or 16")
+    fine = rng.normal(0, 40.0, size=image.shape)  # sub-display-level detail
+    deep = np.clip(image * 256.0 + fine, 0, 65535)
+    return [int(v) for v in deep.ravel()]
+
+
+def gaussian_filter(k: int, frac_bits: int = 8) -> List[int]:
+    """A k x k Gaussian kernel in fixed point, coefficients summing to
+    ``2**frac_bits`` so the convolution output renormalizes by a shift."""
+    sigma = k / 4.0
+    center = (k - 1) / 2.0
+    weights = np.array(
+        [
+            [math.exp(-((r - center) ** 2 + (c - center) ** 2) / (2 * sigma**2)) for c in range(k)]
+            for r in range(k)
+        ]
+    )
+    weights /= weights.sum()
+    scale = 1 << frac_bits
+    raw = np.round(weights * scale).astype(int)
+    # Adjust the center so the coefficients sum exactly to `scale`
+    # (keeps the decoded output unbiased).
+    raw[k // 2, k // 2] += scale - raw.sum()
+    return [int(v) for v in raw.ravel()]
+
+
+def matrix(n: int, seed: int, low: int = 0, high: int = 255) -> List[int]:
+    """Random integer matrix entries (row-major)."""
+    rng = np.random.default_rng(seed)
+    return [int(v) for v in rng.integers(low, high + 1, size=n * n)]
+
+
+def sensor_series(count: int, seed: int, base: float, swing: float, scale: float = 1.0) -> List[int]:
+    """A slowly varying sensor series (diurnal + noise), non-negative ints."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(count)
+    values = base + swing * np.sin(2 * math.pi * t / max(count, 2)) + rng.normal(0, swing * 0.15, count)
+    return [max(0, int(v * scale)) for v in values]
+
+
+def motion_magnitudes(count: int, seed: int, peak: int = 4000) -> List[int]:
+    """Per-interval movement magnitudes for wildlife tracking: long calm
+    stretches with bursts of travel."""
+    rng = np.random.default_rng(seed)
+    values = rng.gamma(0.6, peak * 0.15, size=count)
+    bursts = rng.random(count) < 0.15
+    values[bursts] += rng.uniform(peak * 0.4, peak, size=bursts.sum())
+    return [min(peak, max(0, int(v))) for v in values]

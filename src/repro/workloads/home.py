@@ -1,0 +1,91 @@
+"""Home: periodic averaging of home-monitoring conditions (Table I).
+
+The device accumulates per-channel condition totals (temperature,
+humidity, pressure, light, ...) over a window of four sensor sweeps and
+reports the totals; the host divides by the window length. Each
+``TOT[i] += S[t*N+i]`` is a short-latency add over annotated 32-bit
+arrays — the SWV candidate.
+
+Sensor codes are left-aligned (raw ADC count << 20) so the most
+significant subword planes carry the signal; with four sweeps the
+32-bit totals cannot overflow and the provisioned lanes hold all
+carry-outs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..compiler.ir import Array, BinOp, Const, Kernel, Load, Loop, Pragma, Store, Var
+from .base import Workload, check_scale
+from .data import sensor_series
+
+#: Sweeps per window: fixed at 4 (larger windows would overflow the
+#: 32-bit totals once codes are left-aligned).
+SWEEPS = 4
+
+#: Channels per scale.
+SHAPES = {"tiny": 8, "default": 256, "paper": 256}
+
+#: Left-alignment shift: raw ADC codes (~9 bits) occupy bits 21..29, so
+#: the most significant subword planes carry signal while four-sweep
+#: totals still fit in 32 bits.
+RAW_SHIFT = 21
+
+
+def build_kernel(channels: int, sweeps: int = SWEEPS, bits: int = 8, provisioned: bool = True) -> Kernel:
+    """TOT[i] += S[t*channels + i] for each sweep t."""
+    body = [
+        Loop("t", 0, sweeps, [
+            Loop("i", 0, channels, [
+                Store(
+                    "TOT",
+                    Var("i"),
+                    Load("S", BinOp("+", BinOp("*", Var("t"), Const(channels)), Var("i"))),
+                    accumulate=True,
+                ),
+            ]),
+        ]),
+    ]
+    pragma = lambda: Pragma("asv", bits, provisioned)  # noqa: E731
+    return Kernel(
+        name="home",
+        arrays={
+            "S": Array("S", sweeps * channels, 32, "input", pragma=pragma()),
+            "TOT": Array("TOT", channels, 32, "output", pragma=pragma()),
+        },
+        body=body,
+    )
+
+
+def make_decode(sweeps: int):
+    def decode(outputs: Dict[str, List[int]]) -> List[float]:
+        """Totals -> per-channel average raw ADC codes."""
+        return [v / sweeps / (1 << RAW_SHIFT) for v in outputs["TOT"]]
+
+    return decode
+
+
+def make(
+    scale: str = "default",
+    seed: int = 3,
+    bits: int = 8,
+    provisioned: bool = True,
+) -> Workload:
+    check_scale(scale)
+    channels = SHAPES[scale]
+    readings: List[int] = []
+    for t in range(SWEEPS):
+        codes = sensor_series(channels, seed + t, base=220.0, swing=60.0, scale=1.0)
+        readings.extend(code << RAW_SHIFT for code in codes)
+    return Workload(
+        name="Home",
+        area="Environmental Sensing",
+        description=f"Average conditions over {SWEEPS} sweeps of {channels} channels",
+        technique="swv",
+        kernel=build_kernel(channels, SWEEPS, bits, provisioned),
+        inputs={"S": readings},
+        decode=make_decode(SWEEPS),
+        provisioned=provisioned,
+        params={"channels": channels, "sweeps": SWEEPS},
+    )

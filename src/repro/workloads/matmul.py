@@ -1,0 +1,196 @@
+"""MatMul: dense matrix multiplication (paper Table I).
+
+The paper multiplies two 64x64 matrices; anytime subword pipelining
+applies to the left operand's elements. For the design-space study of
+Figure 12 the left operand can additionally be laid out subword-major
+so its loads vectorize (see :mod:`repro.experiments.fig12`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..compiler.ir import Array, Assign, BinOp, Const, Kernel, Load, Loop, Pragma, Store, Var
+from .base import Workload, check_scale
+from .data import matrix
+
+SHAPES = {"tiny": 6, "default": 16, "paper": 64}
+
+
+def build_kernel(n: int, bits: int = 8) -> Kernel:
+    """C[i*n+j] = sum_k A[i*n+k] * B[k*n+j]."""
+    body = [
+        Loop("i", 0, n, [
+            Loop("j", 0, n, [
+                Assign("acc", Const(0)),
+                Loop("k", 0, n, [
+                    Assign(
+                        "acc",
+                        BinOp(
+                            "+",
+                            Var("acc"),
+                            BinOp(
+                                "*",
+                                Load("B", BinOp("+", BinOp("*", Var("k"), Const(n)), Var("j"))),
+                                Load("A", BinOp("+", BinOp("*", Var("i"), Const(n)), Var("k"))),
+                            ),
+                        ),
+                    ),
+                ]),
+                Store("C", BinOp("+", BinOp("*", Var("i"), Const(n)), Var("j")), Var("acc")),
+            ]),
+        ]),
+    ]
+    return Kernel(
+        name="matmul",
+        arrays={
+            "A": Array("A", n * n, 16, "input", pragma=Pragma("asp", bits)),
+            "B": Array("B", n * n, 16, "input"),
+            "C": Array("C", n * n, 32, "output"),
+        },
+        body=body,
+        scalars=("acc",),
+    )
+
+
+def decode(outputs: Dict[str, List[int]]) -> List[float]:
+    return [float(v) for v in outputs["C"]]
+
+
+def value_bound(n: int) -> int:
+    """Largest entry magnitude such that n * bound^2 < 2^32 (the dot
+    products must fit the 32-bit accumulator)."""
+    return int((2.0**32 / n) ** 0.5) - 1
+
+
+def make(scale: str = "default", seed: int = 1, bits: int = 8) -> Workload:
+    check_scale(scale)
+    n = SHAPES[scale]
+    high = value_bound(n)
+    return Workload(
+        name="MatMul",
+        area="Data processing",
+        description=f"Multiplication of two {n}x{n} matrices",
+        technique="swp",
+        kernel=build_kernel(n, bits),
+        inputs={"A": matrix(n, seed, 0, high), "B": matrix(n, seed + 1, 0, high)},
+        decode=decode,
+        params={"n": n},
+    )
+
+
+def build_kernel_vectorized_loads(n: int, bits: int = 8) -> Kernel:
+    """MatMul with SWP *and* vectorized loads of A (paper Figure 12).
+
+    The left operand is transposed to subword-major order, so one 32-bit
+    load fetches the same-significance subword of ``32/bits`` consecutive
+    ``k`` elements instead of one ``LDRB`` per element — combining
+    subword pipelining with subword vectorization. This builder emits
+    the composed anytime kernel directly (the fused form of the two
+    compiler passes).
+    """
+    from ..compiler.ir import MulAsp, PLANE_MAJOR, SkimPoint
+    from ..core.subword import group_size, plane_count
+
+    group = group_size(bits)
+    planes = plane_count(bits, 16)
+    if n % group:
+        raise ValueError(f"matrix side {n} not divisible by group size {group}")
+    groups_total = n * n // group
+    groups_per_row = n // group
+    mask = (1 << bits) - 1
+
+    body = []
+    for phase in range(planes):
+        shift = (planes - 1 - phase) * bits  # bit significance of this plane
+        per_phase = Loop("i", 0, n, [
+            Loop("j", 0, n, [
+                Assign("acc", Const(0)),
+                Loop("kg", 0, groups_per_row, [
+                    # One packed load covers `group` k-elements' subwords.
+                    Assign(
+                        "vw",
+                        Load(
+                            "A",
+                            BinOp(
+                                "+",
+                                Const(phase * groups_total),
+                                BinOp(
+                                    "+",
+                                    BinOp("*", Var("i"), Const(groups_per_row)),
+                                    Var("kg"),
+                                ),
+                            ),
+                        ),
+                    ),
+                    *[
+                        Assign(
+                            "acc",
+                            BinOp(
+                                "+",
+                                Var("acc"),
+                                MulAsp(
+                                    Load(
+                                        "B",
+                                        BinOp(
+                                            "+",
+                                            BinOp(
+                                                "*",
+                                                BinOp(
+                                                    "+",
+                                                    BinOp("*", Var("kg"), Const(group)),
+                                                    Const(lane),
+                                                ),
+                                                Const(n),
+                                            ),
+                                            Var("j"),
+                                        ),
+                                    ),
+                                    BinOp(
+                                        "&",
+                                        BinOp(">>", Var("vw"), Const(lane * bits)),
+                                        Const(mask),
+                                    ),
+                                    bits,
+                                    shift,
+                                ),
+                            ),
+                        )
+                        for lane in range(group)
+                    ],
+                ]),
+                Store(
+                    "C",
+                    BinOp("+", BinOp("*", Var("i"), Const(n)), Var("j")),
+                    Var("acc"),
+                    accumulate=(phase > 0),
+                ),
+            ]),
+        ])
+        body.append(per_phase)
+        if phase != planes - 1:
+            body.append(SkimPoint())
+
+    from ..compiler.ir import Array as _Array
+
+    kernel = Kernel(
+        name=f"matmul_swp{bits}_vloads",
+        arrays={
+            "A": _Array(
+                "A",
+                planes * groups_total,
+                32,
+                "input",
+                layout=PLANE_MAJOR,
+                layout_bits=bits,
+                logical_length=n * n,
+                logical_bits=16,
+            ),
+            "B": Array("B", n * n, 16, "input"),
+            "C": Array("C", n * n, 32, "output"),
+        },
+        body=body,
+        scalars=("acc", "vw"),
+    )
+    kernel.validate()
+    return kernel

@@ -1,0 +1,69 @@
+"""NetMotion: wildlife location tracking (paper Table I).
+
+A collar-mounted harvesting device logs per-interval movement
+magnitudes and periodically reports the *net movement* over the period
+— a reduction over the displacement log. The adds are short-latency, so
+the anytime transform is subword vectorization in its reduction form:
+per significance plane, a packed register accumulates lane-wise partial
+sums which are folded into the scalar total; the stored output improves
+in steps at each plane (Figure 9f's staircase).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..compiler.ir import Array, Assign, BinOp, Const, Kernel, Load, Loop, Pragma, Store, Var
+from .base import Workload, check_scale
+from .data import motion_magnitudes
+
+#: Displacement-sample count per scale.
+SHAPES = {"tiny": 16, "default": 1024, "paper": 1024}
+
+#: Fixed-point scale: one raw unit = 1/1024 meter.
+METERS_PER_UNIT = 1.0 / 1024.0
+
+
+def build_kernel(n: int, bits: int = 8, provisioned: bool = True) -> Kernel:
+    """NET[0] = sum_i D[i] (displacement magnitudes)."""
+    body = [
+        Assign("acc", Const(0)),
+        Loop("i", 0, n, [
+            Assign("acc", BinOp("+", Var("acc"), Load("D", Var("i")))),
+        ]),
+        Store("NET", Const(0), Var("acc")),
+    ]
+    return Kernel(
+        name="netmotion",
+        arrays={
+            "D": Array("D", n, 16, "input", pragma=Pragma("asv", bits, provisioned)),
+            "NET": Array("NET", 1, 32, "output"),
+        },
+        body=body,
+        scalars=("acc",),
+    )
+
+
+def decode(outputs: Dict[str, List[int]]) -> List[float]:
+    return [v * METERS_PER_UNIT for v in outputs["NET"]]
+
+
+def make(
+    scale: str = "default",
+    seed: int = 5,
+    bits: int = 8,
+    provisioned: bool = True,
+) -> Workload:
+    check_scale(scale)
+    n = SHAPES[scale]
+    return Workload(
+        name="NetMotion",
+        area="Environmental Sensing",
+        description=f"Net movement over {n} tracking intervals",
+        technique="swv",
+        kernel=build_kernel(n, bits, provisioned),
+        inputs={"D": motion_magnitudes(n, seed, peak=60000)},
+        decode=decode,
+        provisioned=provisioned,
+        params={"n": n},
+    )

@@ -1,0 +1,125 @@
+"""Var: on-device variance of logged sensor readings (paper Table I).
+
+The device logs readings from eight sensors (the configuration the
+paper's Figure 17 uses) and periodically computes each sensor's
+variance for its data log. On device, the kernel computes the two
+moments per sensor — the mean square ``E2[s] = E[x^2]`` (whose sum of
+squares is the long-latency reduction that anytime subword pipelining
+targets) and the squared mean ``MSQ[s]`` (single multiply, precise) —
+and the log reader forms ``var = max(0, E2 - MSQ)``.
+
+Because each sensor's moments live in registers until the per-sensor
+store, the output improves in *steps* at each subword-phase boundary —
+the staircase of the paper's Figure 9c.
+
+Readings are scaled toward 13 bits so ``n * max^2`` fits the 32-bit
+sum-of-squares accumulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..compiler.ir import (
+    Array,
+    Assign,
+    BinOp,
+    Const,
+    Kernel,
+    Load,
+    Loop,
+    Pragma,
+    Store,
+    Var,
+)
+from ..isa.registers import to_signed
+from .base import Workload, check_scale
+from .data import sensor_series
+
+#: Readings per sensor (power of two: the mean divides by shift).
+#: Bounded by the 32-bit sum-of-squares: n * max_reading^2 < 2^32.
+READINGS = 64
+
+#: Sensor count per scale ("eight sensors" in the paper's Figure 17).
+SHAPES = {"tiny": 2, "default": 8, "paper": 8}
+
+
+def build_kernel(sensors: int, n: int = READINGS, bits: int = 8) -> Kernel:
+    """SSQ[s] = sum(x^2); MSQ[s] = (sum(x) >> log2(n))^2."""
+    if n & (n - 1):
+        raise ValueError("reading count must be a power of two")
+    shift = n.bit_length() - 1
+    x_index = BinOp("+", BinOp("*", Var("s"), Const(n)), Var("i"))
+    body = [
+        Loop("s", 0, sensors, [
+            Assign("sum", Const(0)),
+            Assign("sumsq", Const(0)),
+            Loop("i", 0, n, [
+                Assign("sum", BinOp("+", Var("sum"), Load("X", x_index))),
+                Assign(
+                    "sumsq",
+                    BinOp("+", Var("sumsq"), BinOp("*", Load("X", x_index), Load("X", x_index))),
+                ),
+            ]),
+            # Round-to-nearest mean: one extra add keeps the squared-
+            # mean truncation bias small on low-variance sensors.
+            Assign("mean", BinOp(">>", BinOp("+", Var("sum"), Const(n // 2)), Const(shift))),
+            Assign("msq", BinOp("*", Var("mean"), Var("mean"))),
+            # Raw sum of squares: shifting per phase would truncate, so
+            # the log reader divides by n at decode time.
+            Store("SSQ", Var("s"), Var("sumsq")),
+            Store("MSQ", Var("s"), Var("msq")),
+        ]),
+    ]
+    return Kernel(
+        name="var",
+        arrays={
+            "X": Array("X", sensors * n, 16, "input", pragma=Pragma("asp", bits)),
+            "SSQ": Array("SSQ", sensors, 32, "output"),
+            "MSQ": Array("MSQ", sensors, 32, "output"),
+        },
+        body=body,
+        scalars=("sum", "sumsq", "mean", "msq"),
+    )
+
+
+def decode(outputs: Dict[str, List[int]]) -> List[float]:
+    """Per-sensor variance from the stored moments, clamped at zero
+    (with only the most significant subwords accumulated, E[x^2] is
+    underestimated and the raw difference can go negative)."""
+    shift = READINGS.bit_length() - 1
+    return [
+        float(max(0, (ssq >> shift) - to_signed(msq)))
+        for ssq, msq in zip(outputs["SSQ"], outputs["MSQ"])
+    ]
+
+
+def generate_readings(sensors: int, n: int, seed: int) -> List[int]:
+    """Per-sensor series scaled toward 13 bits (max ~8191).
+
+    Sensors span a wide range of signal swings (a quiet pressure sensor
+    vs a lively light sensor), so the logged variances cover decades —
+    as heterogeneous sensor boards do."""
+    readings: List[int] = []
+    for s in range(sensors):
+        swing = 25.0 + 30.0 * s
+        readings.extend(
+            min(8191, v)
+            for v in sensor_series(n, seed + s, base=140.0, swing=swing, scale=28.0)
+        )
+    return readings
+
+
+def make(scale: str = "default", seed: int = 4, bits: int = 8) -> Workload:
+    check_scale(scale)
+    sensors = SHAPES[scale]
+    return Workload(
+        name="Var",
+        area="Environmental Sensing",
+        description=f"Variance of {READINGS} readings from {sensors} sensors",
+        technique="swp",
+        kernel=build_kernel(sensors, READINGS, bits),
+        inputs={"X": generate_readings(sensors, READINGS, seed)},
+        decode=decode,
+        params={"sensors": sensors, "n": READINGS},
+    )

@@ -1,0 +1,148 @@
+"""Tests for the high-level AnytimeKernel API and the stream scheduler."""
+
+import pytest
+
+from repro.core import AnytimeConfig, AnytimeKernel, nrmse
+from repro.compiler import Array, BinOp, Kernel, Load, Loop, Pragma, Store, Var
+from repro.power import Capacitor, EnergyModel, PowerSupply, constant_trace, wifi_trace
+from repro.runtime import NVPRuntime, process_stream
+from repro.workloads import make_workload
+
+
+def listing1(n=16):
+    return Kernel(
+        "l1",
+        {
+            "A": Array("A", n, 16, "input", pragma=Pragma("asp", 8)),
+            "F": Array("F", n, 16, "input"),
+            "X": Array("X", n, 32, "output"),
+        },
+        [Loop("i", 0, n, [
+            Store("X", Var("i"), BinOp("*", Load("F", Var("i")), Load("A", Var("i"))), accumulate=True)
+        ])],
+    )
+
+
+INPUTS = {"A": [i * 4099 % 65536 for i in range(16)], "F": [7] * 16}
+
+
+class TestConfig:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            AnytimeConfig(mode="turbo")
+
+    def test_bad_runtime_rejected(self):
+        kernel = AnytimeKernel(listing1())
+        with pytest.raises(ValueError):
+            kernel.run_intermittent(INPUTS, constant_trace(1e-3, 100), runtime="fpga")
+
+    def test_precise_mode_unchanged(self):
+        kernel = AnytimeKernel(listing1())
+        assert kernel.kernel is kernel.base_kernel
+
+
+class TestRun:
+    def test_run_matches_reference(self):
+        kernel = AnytimeKernel(listing1(), AnytimeConfig(mode="swp", bits=8))
+        run = kernel.run(INPUTS)
+        assert run.outputs == kernel.reference_outputs(INPUTS)
+        assert run.cycles > 0
+        assert 0 < run.wn_fraction < 1
+
+    def test_memoization_config(self):
+        plain = AnytimeKernel(listing1(), AnytimeConfig(mode="swp", bits=8))
+        memo = AnytimeKernel(
+            listing1(), AnytimeConfig(mode="swp", bits=8, memoization=True, zero_skipping=True)
+        )
+        # Constant F=7 multiplies hit the memo table heavily.
+        assert memo.run(INPUTS).cycles < plain.run(INPUTS).cycles
+        assert memo.run(INPUTS).outputs == plain.run(INPUTS).outputs
+
+
+class TestQualityCurve:
+    def test_curve_properties(self):
+        kernel = AnytimeKernel(listing1(), AnytimeConfig(mode="swp", bits=8))
+        curve = kernel.quality_curve(INPUTS, samples=12)
+        assert len(curve) >= 2
+        assert curve.final_error == 0.0
+        assert curve.is_monotonically_improving(tolerance=1.0)
+        assert curve.first_output_runtime < 1.0
+
+    def test_custom_decode(self):
+        kernel = AnytimeKernel(listing1(), AnytimeConfig(mode="swp", bits=8))
+        curve = kernel.quality_curve(
+            INPUTS, samples=6, decode=lambda outputs: [v / 7 for v in outputs["X"]]
+        )
+        assert curve.final_error == 0.0
+
+
+class TestIntermittentApi:
+    def test_completes_on_generous_supply(self):
+        kernel = AnytimeKernel(listing1(), AnytimeConfig(mode="swp", bits=8))
+        run = kernel.run_intermittent(INPUTS, constant_trace(20e-3, 10_000))
+        assert run.result.completed
+        assert run.outputs == kernel.reference_outputs(INPUTS)
+
+    def test_skim_on_starved_supply(self):
+        kernel = AnytimeKernel(listing1(256), AnytimeConfig(mode="swp", bits=8))
+        inputs = {"A": [i * 251 % 65536 for i in range(256)], "F": [9] * 256}
+        run = kernel.run_intermittent(
+            inputs,
+            wifi_trace(duration_ms=3000, seed=2),
+            runtime="clank",
+            capacitor=Capacitor(capacitance_f=0.03e-6, v_initial=3.0, v_max=3.3),
+            watchdog_cycles=300,
+        )
+        assert run.result.completed
+        assert run.result.skim_taken
+        # The MSb contribution alone: low NRMSE, not exact.
+        reference = [v * 9 for v in inputs["A"]]
+        error = nrmse(reference, run.outputs["X"])
+        assert 0 < error < 5.0
+
+
+class TestStreamScheduler:
+    def test_freshest_sample_policy(self):
+        """When processing takes ~2 periods, every other sample drops."""
+        kernel = AnytimeKernel(listing1())
+        energy = EnergyModel()
+        probe = kernel.run(INPUTS).cycles
+        period = 40
+        # Harvest ~55% of a run's energy per period.
+        power = 0.55 * energy.energy_for_cycles(probe) / (period / 1000.0)
+        supply = PowerSupply(
+            constant_trace(power, 100_000),
+            Capacitor(capacitance_f=0.02e-6, v_initial=3.0, v_max=3.3),
+            energy,
+        )
+        arrivals = [i * period for i in range(12)]
+        result = process_stream(
+            arrivals,
+            supply,
+            make_cpu=lambda i: kernel.make_cpu(INPUTS),
+            make_runtime=NVPRuntime,
+            extract=lambda cpu: kernel.read_outputs(cpu)["X"][0],
+        )
+        assert 0.3 < result.coverage < 0.9
+        assert result.missed_indices
+        assert all(p.output == INPUTS["A"][0] * 7 for p in result.processed)
+
+    def test_ample_energy_processes_all(self):
+        kernel = AnytimeKernel(listing1())
+        supply = PowerSupply(constant_trace(20e-3, 100_000), Capacitor(), EnergyModel())
+        arrivals = [i * 50 for i in range(6)]
+        result = process_stream(
+            arrivals,
+            supply,
+            make_cpu=lambda i: kernel.make_cpu(INPUTS),
+            make_runtime=NVPRuntime,
+            extract=lambda cpu: 0,
+        )
+        assert result.coverage == 1.0
+        assert [p.index for p in result.processed] == list(range(6))
+
+    def test_unsorted_arrivals_rejected(self):
+        kernel = AnytimeKernel(listing1())
+        supply = PowerSupply(constant_trace(20e-3, 100), Capacitor(), EnergyModel())
+        with pytest.raises(ValueError):
+            process_stream([10, 5], supply, lambda i: None, NVPRuntime, lambda c: 0)

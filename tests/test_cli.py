@@ -1,0 +1,37 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "table1" in out and "ablation-memo" in out
+
+    def test_run_areapower(self, capsys):
+        assert main(["run", "areapower"]) == 0
+        out = capsys.readouterr().out
+        assert "Fmax" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_tiny_table1(self, capsys):
+        assert main(["run", "table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Conv2d" in out
+
+    def test_bench_tiny(self, capsys):
+        assert main(["bench", "MatAdd", "--scale", "tiny", "--traces", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "8-bit" in out and "speedup" in out
+
+    def test_bench_unknown(self, capsys):
+        assert main(["bench", "Quux"]) == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

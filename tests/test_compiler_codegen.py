@@ -1,0 +1,213 @@
+"""Tests for code generation: lowering, layout, staging, optimizations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    Array,
+    Assign,
+    BinOp,
+    CodegenError,
+    Const,
+    Kernel,
+    Load,
+    Loop,
+    Pragma,
+    SkimPoint,
+    Store,
+    SubwordLoad,
+    Var,
+    apply_swp,
+    apply_swv,
+    compile_kernel,
+    evaluate,
+    evaluate_logical,
+)
+
+
+def run_compiled(kernel, inputs):
+    compiled = compile_kernel(kernel)
+    cpu = compiled.make_cpu(inputs)
+    cycles = cpu.run()
+    outputs = {
+        a.name: compiled.read_array(cpu.memory, a.name) for a in kernel.outputs()
+    }
+    return outputs, cycles, cpu, compiled
+
+
+def map_kernel(n=8, op="+", rhs_const=None):
+    rhs = Const(rhs_const) if rhs_const is not None else Load("B", Var("i"))
+    arrays = {
+        "A": Array("A", n, 16, "input"),
+        "B": Array("B", n, 16, "input"),
+        "X": Array("X", n, 32, "output"),
+    }
+    body = [Loop("i", 0, n, [Store("X", Var("i"), BinOp(op, Load("A", Var("i")), rhs))])]
+    return Kernel("map", arrays, body)
+
+
+class TestLoweringMatchesInterpreter:
+    @pytest.mark.parametrize("op", ["+", "-", "&", "|", "^"])
+    def test_elementwise_ops(self, op):
+        kernel = map_kernel(op=op)
+        inputs = {"A": [100, 200, 65535, 0, 7, 9, 31337, 42],
+                  "B": [3, 250, 1, 65535, 7, 2, 31337, 0]}
+        outputs, _, _, _ = run_compiled(kernel, inputs)
+        assert outputs == {"X": evaluate(kernel, inputs)["X"]}
+
+    def test_multiply_strength_reduction_correct(self):
+        # Constants with few set bits become shift/add chains.
+        for factor in (0, 1, 2, 3, 20, 40, 129, 255, 1000):
+            kernel = map_kernel(op="*", rhs_const=factor)
+            inputs = {"A": [1, 5, 255, 65535, 0, 9, 100, 3],
+                      "B": [0] * 8}
+            outputs, _, _, _ = run_compiled(kernel, inputs)
+            assert outputs["X"] == evaluate(kernel, inputs)["X"], factor
+
+    def test_full_multiply_uses_iterative_multiplier(self):
+        kernel = map_kernel(op="*")
+        inputs = {"A": [3] * 8, "B": [1000] * 8}
+        _, cycles, cpu, _ = run_compiled(kernel, inputs)
+        assert cpu.stats.multiplies == 8
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.lists(st.integers(0, 0xFFFF), min_size=8, max_size=8),
+        st.lists(st.integers(0, 0xFFFF), min_size=8, max_size=8),
+    )
+    def test_machine_matches_interpreter_property(self, a, b):
+        kernel = map_kernel(op="+")
+        inputs = {"A": a, "B": b}
+        outputs, _, _, _ = run_compiled(kernel, inputs)
+        assert outputs["X"] == evaluate(kernel, inputs)["X"]
+
+
+class TestAnytimeBuildsOnHardware:
+    """Compiled anytime kernels match the layout-aware interpreter."""
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 8])
+    def test_swp_machine_equals_ir(self, bits):
+        base = Kernel(
+            "k",
+            {
+                "A": Array("A", 8, 16, "input", pragma=Pragma("asp", bits)),
+                "F": Array("F", 8, 16, "input"),
+                "X": Array("X", 8, 32, "output"),
+            },
+            [Loop("i", 0, 8, [
+                Store("X", Var("i"),
+                      BinOp("*", Load("F", Var("i")), Load("A", Var("i"))),
+                      accumulate=True)
+            ])],
+        )
+        kernel = apply_swp(base)
+        inputs = {"A": [0xFFFF, 0x1234, 7, 0, 255, 4096, 65535, 32768],
+                  "F": [1, 3, 5, 7, 9, 11, 13, 65535]}
+        outputs, _, _, _ = run_compiled(kernel, inputs)
+        assert outputs["X"] == evaluate(kernel, inputs)["X"]
+
+    @pytest.mark.parametrize("bits,provisioned", [(4, True), (8, True), (4, False), (8, False)])
+    def test_swv_machine_equals_ir(self, bits, provisioned):
+        pragma = lambda: Pragma("asv", bits, provisioned)  # noqa: E731
+        base = Kernel(
+            "k",
+            {
+                "A": Array("A", 16, 16, "input", pragma=pragma()),
+                "B": Array("B", 16, 16, "input", pragma=pragma()),
+                "X": Array("X", 16, 16, "output", pragma=pragma()),
+            },
+            [Loop("i", 0, 16, [
+                Store("X", Var("i"), BinOp("+", Load("A", Var("i")), Load("B", Var("i"))))
+            ])],
+        )
+        kernel = apply_swv(base)
+        inputs = {"A": list(range(1000, 17000, 1000)), "B": [0xABC] * 16}
+        outputs, _, _, _ = run_compiled(kernel, inputs)
+        expected = evaluate_logical(kernel, inputs)["X"]
+        assert outputs["X"] == expected
+
+
+class TestSkimCodegen:
+    def test_skim_points_emit_skm_end(self):
+        kernel = Kernel(
+            "k",
+            {"X": Array("X", 1, 32, "output")},
+            [Store("X", Const(0), Const(1)), SkimPoint(), Store("X", Const(0), Const(2))],
+        )
+        compiled = compile_kernel(kernel)
+        assert "SKM END" in compiled.source
+        end = compiled.program.label_address("END")
+        assert compiled.program[end].op == "HALT"
+
+
+class TestOptimizations:
+    def test_pointer_strength_reduction_applied(self):
+        compiled = compile_kernel(map_kernel())
+        # The inner loop must not recompute full addressing per access:
+        # pointer bumps appear instead of per-iteration LSL+ADD chains.
+        body = compiled.source.split("L_i_1:")[1]
+        assert body.count("LSL") == 0
+
+    def test_load_cse_within_statement(self):
+        kernel = Kernel(
+            "sq",
+            {
+                "A": Array("A", 4, 16, "input"),
+                "X": Array("X", 4, 32, "output"),
+            },
+            [Loop("i", 0, 4, [
+                Store("X", Var("i"), BinOp("*", Load("A", Var("i")), Load("A", Var("i"))))
+            ])],
+        )
+        outputs, _, cpu, compiled = run_compiled(kernel, {"A": [3, 5, 7, 9]})
+        assert outputs["X"] == [9, 25, 49, 81]
+        # One load per element, not two (the duplicate is CSE'd).
+        assert cpu.stats.loads == 4
+
+    def test_register_pressure_detected(self):
+        arrays = {f"A{i}": Array(f"A{i}", 2, 16, "input") for i in range(11)}
+        arrays["X"] = Array("X", 2, 32, "output")
+        kernel = Kernel("big", arrays, [], scalars=("a", "b", "c"))
+        with pytest.raises(CodegenError):
+            compile_kernel(kernel)
+
+    def test_empty_loop_emits_nothing(self):
+        kernel = Kernel(
+            "k",
+            {"X": Array("X", 1, 32, "output")},
+            [Loop("i", 5, 5, [Store("X", Const(0), Const(1))])],
+        )
+        outputs, _, _, _ = run_compiled(kernel, {})
+        assert outputs["X"] == [0]
+
+
+class TestStagingLayouts:
+    def test_row_major_16bit_roundtrip(self):
+        kernel = map_kernel()
+        compiled = compile_kernel(kernel)
+        from repro.sim import default_memory
+
+        memory = default_memory()
+        compiled.stage(memory, {"A": [1, 2, 3, 4, 5, 6, 7, 65535]})
+        assert compiled.read_array(memory, "A") == [1, 2, 3, 4, 5, 6, 7, 65535]
+
+    def test_wrong_length_rejected(self):
+        compiled = compile_kernel(map_kernel())
+        from repro.sim import default_memory
+
+        with pytest.raises(ValueError):
+            compiled.stage(default_memory(), {"A": [1, 2]})
+
+    def test_slots_do_not_overlap(self):
+        compiled = compile_kernel(map_kernel())
+        spans = sorted(
+            (slot.address, slot.address + slot.size_bytes)
+            for slot in compiled.slots.values()
+        )
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_code_size_accounting(self):
+        base = map_kernel()
+        precise_size = compile_kernel(base).code_size_bytes
+        assert precise_size > 0

@@ -1,0 +1,155 @@
+"""Tests for the C-like kernel front end (paper Listings 1 and 3)."""
+
+import pytest
+
+from repro.compiler import apply_swp, apply_swv, compile_kernel, evaluate
+from repro.compiler.frontend import FrontendError, parse_kernel
+
+LISTING1 = """
+#pragma asp input(A, 8);
+#pragma asp output(X);
+
+kernel listing1 {
+    input  u16 A[8];
+    input  u16 F[8];
+    output u32 X[8];
+
+    for (i = 0; i < 8; i++) {
+        X[i] += A[i] * F[i];
+    }
+}
+"""
+
+LISTING3 = """
+#pragma asv input(A, 8);
+#pragma asv input(B, 8);
+#pragma asv output(X, 8);
+
+kernel listing3 {
+    input  u16 A[16];
+    input  u16 B[16];
+    output u16 X[16];
+
+    for (i = 0; i < 16; i++) {
+        X[i] = A[i] + B[i];
+    }
+}
+"""
+
+
+class TestParsing:
+    def test_listing1_shape(self):
+        kernel = parse_kernel(LISTING1)
+        assert kernel.name == "listing1"
+        assert kernel.arrays["A"].pragma.kind == "asp"
+        assert kernel.arrays["A"].pragma.bits == 8
+        assert kernel.arrays["F"].pragma is None
+        assert kernel.arrays["X"].element_bits == 32
+        (loop,) = kernel.body
+        assert loop.var == "i" and loop.start == 0 and loop.end == 8
+        store = loop.body[0]
+        assert store.accumulate is True
+
+    def test_listing3_shape(self):
+        kernel = parse_kernel(LISTING3)
+        assert kernel.arrays["B"].pragma.kind == "asv"
+        store = kernel.body[0].body[0]
+        assert store.accumulate is False
+
+    def test_provisioned_pragma(self):
+        kernel = parse_kernel(LISTING3.replace(
+            "#pragma asv input(A, 8);", "#pragma asv input(A, 8, provisioned);"
+        ))
+        assert kernel.arrays["A"].pragma.provisioned is True
+
+    def test_scalars_and_nested_loops(self):
+        source = """
+        kernel nest {
+            input  u16 A[4];
+            output u32 S[1];
+            scalar acc;
+
+            acc = 0;
+            for (i = 0; i < 4; i++) {
+                acc += A[i] * A[i];
+            }
+            S[0] = acc >> 2;
+        }
+        """
+        kernel = parse_kernel(source)
+        assert kernel.scalars == ("acc",)
+        out = evaluate(kernel, {"A": [1, 2, 3, 4]})
+        assert out["S"][0] == (1 + 4 + 9 + 16) >> 2
+
+    def test_expression_precedence(self):
+        source = """
+        kernel prec {
+            output u32 X[1];
+            X[0] = 1 + 2 * 3 << 1 | 128;
+        }
+        """
+        kernel = parse_kernel(source)
+        # C precedence: ((1 + (2*3)) << 1) | 128
+        assert evaluate(kernel, {})["X"][0] == ((1 + 6) << 1) | 128
+
+    def test_hex_literals_and_comments(self):
+        source = """
+        // a comment
+        kernel h {
+            output u32 X[1];
+            X[0] = 0xFF & 0x0F;  // masks
+        }
+        """
+        assert evaluate(parse_kernel(source), {})["X"][0] == 0x0F
+
+
+class TestErrors:
+    def test_unknown_type(self):
+        with pytest.raises(FrontendError):
+            parse_kernel("kernel k { input f32 A[4]; }")
+
+    def test_undeclared_array_store(self):
+        with pytest.raises((FrontendError, ValueError)):
+            parse_kernel("kernel k { output u32 X[1]; Y[0] = 1; }")
+
+    def test_malformed_for(self):
+        with pytest.raises(FrontendError):
+            parse_kernel("kernel k { output u32 X[1]; for (i = 0; j < 4; i++) { X[0] = 1; } }")
+
+    def test_bad_pragma_kind(self):
+        with pytest.raises(FrontendError):
+            parse_kernel("#pragma fast input(A, 8);\nkernel k { output u32 X[1]; }")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(FrontendError):
+            parse_kernel("kernel k { output u32 X[1]; } extra")
+
+    def test_unexpected_character(self):
+        with pytest.raises(FrontendError):
+            parse_kernel("kernel k { output u32 X[1]; X[0] = 1 $ 2; }")
+
+
+class TestEndToEnd:
+    def test_listing1_through_swp_and_hardware(self):
+        """Source text -> pragmas -> SWP pass -> machine code -> exact result."""
+        kernel = parse_kernel(LISTING1)
+        inputs = {"A": [0x1234, 255, 65535, 0, 7, 4096, 9, 31337],
+                  "F": [3, 1, 2, 9, 65535, 5, 0, 7]}
+        reference = evaluate(kernel, inputs)["X"]
+        transformed = apply_swp(kernel)
+        compiled = compile_kernel(transformed)
+        cpu = compiled.make_cpu(inputs)
+        cpu.run()
+        assert compiled.read_array(cpu.memory, "X") == reference
+
+    def test_listing3_through_swv_and_hardware(self):
+        kernel = parse_kernel(LISTING3.replace("(A, 8)", "(A, 8, provisioned)")
+                              .replace("(B, 8)", "(B, 8, provisioned)")
+                              .replace("(X, 8)", "(X, 8, provisioned)"))
+        inputs = {"A": list(range(100, 1700, 100)), "B": [0x00FF] * 16}
+        reference = evaluate(kernel, inputs)["X"]
+        transformed = apply_swv(kernel)
+        compiled = compile_kernel(transformed)
+        cpu = compiled.make_cpu(inputs)
+        cpu.run()
+        assert compiled.read_array(cpu.memory, "X") == reference

@@ -1,0 +1,159 @@
+"""Unit and property tests for the kernel IR and its interpreter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compiler import (
+    Array,
+    Assign,
+    BinOp,
+    Const,
+    Kernel,
+    Load,
+    Loop,
+    MulAsp,
+    Pragma,
+    SkimPoint,
+    Store,
+    SubwordLoad,
+    Var,
+    VecOp,
+    evaluate,
+)
+
+
+def simple_kernel(body, arrays=None, scalars=()):
+    arrays = arrays or {
+        "A": Array("A", 4, 16, "input"),
+        "X": Array("X", 4, 32, "output"),
+    }
+    return Kernel("t", arrays, body, scalars=scalars)
+
+
+class TestValidation:
+    def test_pragma_kinds(self):
+        assert Pragma("asp", 8).kind == "asp"
+        with pytest.raises(ValueError):
+            Pragma("foo")
+        with pytest.raises(ValueError):
+            Pragma("asp", 5)
+
+    def test_array_constraints(self):
+        with pytest.raises(ValueError):
+            Array("A", 4, 12)
+        with pytest.raises(ValueError):
+            Array("A", 0, 16)
+        with pytest.raises(ValueError):
+            Array("A", 4, 16, "sideways")
+
+    def test_undeclared_scalar_rejected(self):
+        kernel = simple_kernel([Assign("ghost", Const(1))])
+        with pytest.raises(ValueError):
+            kernel.validate()
+
+    def test_undeclared_array_rejected(self):
+        kernel = simple_kernel([Store("NOPE", Const(0), Const(1))])
+        with pytest.raises(ValueError):
+            kernel.validate()
+
+    def test_loop_vars_implicitly_declared(self):
+        kernel = simple_kernel(
+            [Loop("i", 0, 4, [Store("X", Var("i"), Var("i"))])]
+        )
+        kernel.validate()
+
+    def test_bad_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("%", Const(1), Const(2))
+
+    def test_bad_vecop_rejected(self):
+        with pytest.raises(ValueError):
+            VecOp("*", Const(1), Const(2), 8)
+        with pytest.raises(ValueError):
+            VecOp("+", Const(1), Const(2), 5)
+
+    def test_bad_loop_step(self):
+        with pytest.raises(ValueError):
+            Loop("i", 0, 4, [], step=0)
+
+
+class TestInterpreter:
+    def test_elementwise_map(self):
+        kernel = simple_kernel(
+            [Loop("i", 0, 4, [Store("X", Var("i"), BinOp("+", Load("A", Var("i")), Const(1)))])]
+        )
+        out = evaluate(kernel, {"A": [10, 20, 30, 40]})
+        assert out["X"] == [11, 21, 31, 41]
+
+    def test_accumulating_store(self):
+        kernel = simple_kernel(
+            [
+                Loop("i", 0, 4, [Store("X", Const(0), Load("A", Var("i")), accumulate=True)]),
+            ]
+        )
+        out = evaluate(kernel, {"A": [1, 2, 3, 4]})
+        assert out["X"][0] == 10
+
+    def test_store_masks_to_element_width(self):
+        arrays = {"X": Array("X", 1, 16, "output")}
+        kernel = simple_kernel([Store("X", Const(0), Const(0x12345))], arrays)
+        assert evaluate(kernel, {})["X"] == [0x2345]
+
+    def test_scalar_accumulation(self):
+        kernel = simple_kernel(
+            [
+                Assign("acc", Const(0)),
+                Loop("i", 0, 4, [Assign("acc", BinOp("+", Var("acc"), Load("A", Var("i"))))]),
+                Store("X", Const(0), Var("acc")),
+            ],
+            scalars=("acc",),
+        )
+        assert evaluate(kernel, {"A": [1, 2, 3, 4]})["X"][0] == 10
+
+    def test_subword_load_semantics(self):
+        kernel = simple_kernel(
+            [Store("X", Const(0), SubwordLoad("A", Const(0), 8, 8))]
+        )
+        assert evaluate(kernel, {"A": [0x1234, 0, 0, 0]})["X"][0] == 0x12
+
+    def test_mulasp_shift_semantics(self):
+        kernel = simple_kernel(
+            [Store("X", Const(0), MulAsp(Const(5), Const(3), 8, 8))]
+        )
+        assert evaluate(kernel, {"A": [0] * 4})["X"][0] == (5 * 3) << 8
+
+    def test_vecop_cuts_carries(self):
+        kernel = simple_kernel(
+            [Store("X", Const(0), VecOp("+", Const(0x00FF), Const(0x0001), 8))]
+        )
+        assert evaluate(kernel, {"A": [0] * 4})["X"][0] == 0
+
+    def test_skim_point_is_semantic_noop(self):
+        kernel = simple_kernel(
+            [SkimPoint(), Store("X", Const(0), Const(7)), SkimPoint()]
+        )
+        assert evaluate(kernel, {"A": [0] * 4})["X"][0] == 7
+
+    def test_shifts(self):
+        kernel = simple_kernel(
+            [
+                Store("X", Const(0), BinOp("<<", Const(3), Const(4))),
+                Store("X", Const(1), BinOp(">>", Const(0x100), Const(4))),
+            ]
+        )
+        out = evaluate(kernel, {"A": [0] * 4})
+        assert out["X"][0] == 48
+        assert out["X"][1] == 16
+
+    def test_wrong_input_length_rejected(self):
+        kernel = simple_kernel([])
+        with pytest.raises(ValueError):
+            evaluate(kernel, {"A": [1, 2]})
+
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=4, max_size=4))
+    def test_map_matches_python_property(self, values):
+        kernel = simple_kernel(
+            [Loop("i", 0, 4, [Store("X", Var("i"), BinOp("*", Load("A", Var("i")), Const(3)))])]
+        )
+        out = evaluate(kernel, {"A": values})
+        assert out["X"] == [(v * 3) & 0xFFFFFFFF for v in values]

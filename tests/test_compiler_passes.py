@@ -1,0 +1,293 @@
+"""Tests for the anytime compiler passes (SWP and SWV).
+
+The central property: for any inputs, the transformed kernel's IR
+evaluation equals the original's — the anytime schedule reconstructs
+the precise result once all subword phases run (distributivity for SWP,
+carry-preserving lanes for provisioned SWV).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    Array,
+    Assign,
+    BinOp,
+    Const,
+    Kernel,
+    Load,
+    Loop,
+    MulAsp,
+    Pragma,
+    SkimPoint,
+    Store,
+    SubwordLoad,
+    SwpError,
+    SwvError,
+    Var,
+    apply_swp,
+    apply_swv,
+    evaluate,
+    evaluate_logical,
+)
+from repro.compiler.passes.swp import subword_schedule
+
+
+def listing1(n=8, bits=8):
+    return Kernel(
+        "l1",
+        {
+            "A": Array("A", n, 16, "input", pragma=Pragma("asp", bits)),
+            "F": Array("F", n, 16, "input"),
+            "X": Array("X", n, 32, "output"),
+        },
+        [Loop("i", 0, n, [
+            Store("X", Var("i"), BinOp("*", Load("F", Var("i")), Load("A", Var("i"))), accumulate=True)
+        ])],
+    )
+
+
+def listing3(n=16, bits=8, provisioned=True, op="+"):
+    pragma = lambda: Pragma("asv", bits, provisioned)  # noqa: E731
+    return Kernel(
+        "l3",
+        {
+            "A": Array("A", n, 16, "input", pragma=pragma()),
+            "B": Array("B", n, 16, "input", pragma=pragma()),
+            "X": Array("X", n, 16, "output", pragma=pragma()),
+        },
+        [Loop("i", 0, n, [
+            Store("X", Var("i"), BinOp(op, Load("A", Var("i")), Load("B", Var("i"))))
+        ])],
+    )
+
+
+class TestSubwordSchedule:
+    def test_dividing_width(self):
+        assert subword_schedule(16, 8) == [(8, 8), (8, 0)]
+        assert subword_schedule(16, 4) == [(4, 12), (4, 8), (4, 4), (4, 0)]
+
+    def test_non_dividing_width_full_msb_first(self):
+        assert subword_schedule(16, 3) == [(3, 13), (3, 10), (3, 7), (3, 4), (3, 1), (1, 0)]
+
+    def test_one_bit(self):
+        schedule = subword_schedule(16, 1)
+        assert len(schedule) == 16
+        assert schedule[0] == (1, 15)
+        assert schedule[-1] == (1, 0)
+
+    def test_invalid_width(self):
+        with pytest.raises(SwpError):
+            subword_schedule(16, 0)
+
+
+class TestSwpStructure:
+    def test_requires_pragma(self):
+        kernel = listing1()
+        kernel.arrays["A"].pragma = None
+        with pytest.raises(SwpError):
+            apply_swp(kernel)
+
+    def test_phase_count(self):
+        transformed = apply_swp(listing1(bits=8))
+        loops = [s for s in transformed.body if isinstance(s, Loop)]
+        assert len(loops) == 2  # 16-bit data, 8-bit subwords
+
+    def test_skim_points_between_phases(self):
+        transformed = apply_swp(listing1(bits=4))
+        skims = [s for s in transformed.body if isinstance(s, SkimPoint)]
+        assert len(skims) == 3  # after each phase except the last
+
+    def test_msb_phase_first(self):
+        transformed = apply_swp(listing1(bits=8))
+        first_loop = next(s for s in transformed.body if isinstance(s, Loop))
+        muls = [
+            e for stmt in first_loop.body
+            for e in _walk_stmt(stmt)
+            if isinstance(e, MulAsp)
+        ]
+        assert muls and all(m.shift == 8 for m in muls)
+
+    def test_bits_override(self):
+        transformed = apply_swp(listing1(bits=8), bits=4)
+        loops = [s for s in transformed.body if isinstance(s, Loop)]
+        assert len(loops) == 4
+
+    def test_later_phases_accumulate(self):
+        kernel = Kernel(
+            "direct",
+            {
+                "A": Array("A", 4, 16, "input", pragma=Pragma("asp", 8)),
+                "F": Array("F", 4, 16, "input"),
+                "X": Array("X", 4, 32, "output"),
+            },
+            [Loop("i", 0, 4, [
+                Store("X", Var("i"), BinOp("*", Load("F", Var("i")), Load("A", Var("i"))))
+            ])],
+        )
+        transformed = apply_swp(kernel)
+        loops = [s for s in transformed.body if isinstance(s, Loop)]
+        first_store = next(s for s in _walk_body(loops[0]) if isinstance(s, Store))
+        later_store = next(s for s in _walk_body(loops[1]) if isinstance(s, Store))
+        assert not first_store.accumulate
+        assert later_store.accumulate
+
+    def test_independent_reduction_runs_once(self):
+        """An untainted persistent accumulation must not re-run per phase."""
+        kernel = Kernel(
+            "mixed",
+            {
+                "A": Array("A", 4, 16, "input", pragma=Pragma("asp", 8)),
+                "S": Array("S", 1, 32, "output"),
+                "Q": Array("Q", 1, 32, "output"),
+            },
+            [
+                Assign("total", Const(0)),
+                Assign("power", Const(0)),
+                Loop("i", 0, 4, [
+                    Assign("total", BinOp("+", Var("total"), Load("A", Var("i")))),
+                    Assign("power", BinOp("+", Var("power"),
+                                          BinOp("*", Load("A", Var("i")), Load("A", Var("i"))))),
+                ]),
+                Store("S", Const(0), Var("total")),
+                Store("Q", Const(0), Var("power")),
+            ],
+            scalars=("total", "power"),
+        )
+        inputs = {"A": [5, 6, 7, 8]}
+        reference = evaluate(kernel, inputs)
+        transformed = apply_swp(kernel)
+        result = evaluate(transformed, inputs)
+        assert result["S"] == reference["S"]  # not double-counted
+        assert result["Q"] == reference["Q"]
+
+
+def _walk_stmt(stmt):
+    from repro.compiler.ir import walk_exprs
+
+    if isinstance(stmt, Loop):
+        for inner in stmt.body:
+            yield from _walk_stmt(inner)
+    elif isinstance(stmt, (Store, Assign)):
+        yield from walk_exprs(stmt.expr)
+
+
+def _walk_body(loop):
+    for stmt in loop.body:
+        yield stmt
+        if isinstance(stmt, Loop):
+            yield from _walk_body(stmt)
+
+
+class TestSwpSemantics:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(st.integers(0, 0xFFFF), min_size=8, max_size=8),
+        st.lists(st.integers(0, 0xFFFF), min_size=8, max_size=8),
+        st.sampled_from([1, 2, 3, 4, 8]),
+    )
+    def test_swp_preserves_semantics_property(self, a, f, bits):
+        kernel = listing1(bits=bits)
+        inputs = {"A": a, "F": f}
+        assert evaluate(apply_swp(kernel), inputs)["X"] == evaluate(kernel, inputs)["X"]
+
+
+class TestSwvStructure:
+    def test_requires_pragma(self):
+        kernel = listing3()
+        for array in kernel.arrays.values():
+            array.pragma = None
+        with pytest.raises(SwvError):
+            apply_swv(kernel)
+
+    def test_repacked_arrays(self):
+        transformed = apply_swv(listing3(bits=8, provisioned=False))
+        packed = transformed.arrays["A"]
+        assert packed.element_bits == 32
+        assert packed.logical_length == 16
+        assert packed.logical_bits == 16
+        assert packed.length == 2 * (16 // 4)  # 2 planes x 4 groups
+
+    def test_provisioned_doubles_words(self):
+        unprov = apply_swv(listing3(bits=8, provisioned=False)).arrays["A"]
+        prov = apply_swv(listing3(bits=8, provisioned=True)).arrays["A"]
+        assert prov.length == 2 * unprov.length
+
+    def test_skim_points_between_planes(self):
+        transformed = apply_swv(listing3(bits=4, provisioned=True))
+        skims = [s for s in transformed.body if isinstance(s, SkimPoint)]
+        assert len(skims) == 3  # 4 planes of 16-bit data
+
+    def test_width_must_be_4_or_8(self):
+        with pytest.raises(SwvError):
+            apply_swv(listing3(), bits=3)
+
+    def test_trip_count_divisibility_checked(self):
+        with pytest.raises(SwvError):
+            apply_swv(listing3(n=5, bits=8, provisioned=False))
+
+    def test_logical_ops_stay_full_width(self):
+        transformed = apply_swv(listing3(op="^", provisioned=False))
+        from repro.compiler.ir import VecOp, walk_exprs
+
+        for stmt in transformed.body:
+            for inner in _walk_stmt(stmt):
+                assert not isinstance(inner, VecOp)
+
+
+class TestSwvSemantics:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(st.integers(0, 0xFFFF), min_size=16, max_size=16),
+        st.lists(st.integers(0, 0xFFFF), min_size=16, max_size=16),
+        st.sampled_from([4, 8]),
+    )
+    def test_provisioned_add_exact_property(self, a, b, bits):
+        kernel = listing3(bits=bits, provisioned=True)
+        inputs = {"A": a, "B": b}
+        assert evaluate_logical(apply_swv(kernel), inputs)["X"] == evaluate(kernel, inputs)["X"]
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(st.integers(0, 0xFFFF), min_size=16, max_size=16),
+        st.lists(st.integers(0, 0xFFFF), min_size=16, max_size=16),
+        st.sampled_from(["&", "|", "^"]),
+    )
+    def test_logical_ops_exact_property(self, a, b, op):
+        kernel = listing3(op=op, provisioned=False)
+        inputs = {"A": a, "B": b}
+        assert evaluate_logical(apply_swv(kernel), inputs)["X"] == evaluate(kernel, inputs)["X"]
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(st.integers(0, 0xFFFF), min_size=16, max_size=16),
+        st.lists(st.integers(0, 0xFFFF), min_size=16, max_size=16),
+    )
+    def test_unprovisioned_add_wraps_per_subword_property(self, a, b):
+        kernel = listing3(bits=8, provisioned=False)
+        result = evaluate_logical(apply_swv(kernel), {"A": a, "B": b})["X"]
+        expected = []
+        for x, y in zip(a, b):
+            lo = ((x & 0xFF) + (y & 0xFF)) & 0xFF
+            hi = ((x >> 8) + (y >> 8)) & 0xFF
+            expected.append((hi << 8) | lo)
+        assert result == expected
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=32, max_size=32), st.sampled_from([4, 8]))
+    def test_reduction_exact_property(self, data, bits):
+        kernel = Kernel(
+            "red",
+            {
+                "D": Array("D", 32, 16, "input", pragma=Pragma("asv", bits, True)),
+                "NET": Array("NET", 1, 32, "output"),
+            },
+            [
+                Assign("acc", Const(0)),
+                Loop("i", 0, 32, [Assign("acc", BinOp("+", Var("acc"), Load("D", Var("i"))))]),
+                Store("NET", Const(0), Var("acc")),
+            ],
+            scalars=("acc",),
+        )
+        inputs = {"D": data}
+        assert evaluate_logical(apply_swv(kernel), inputs)["NET"] == evaluate(kernel, inputs)["NET"]

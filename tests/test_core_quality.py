@@ -1,0 +1,165 @@
+"""Unit and property tests for quality metrics and fixed point."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    FixedPointFormat,
+    Q16,
+    Q32,
+    QualityCurve,
+    mean_relative_error,
+    nrmse,
+    psnr,
+)
+
+floats = st.floats(-1e6, 1e6, allow_nan=False)
+
+
+class TestNrmse:
+    def test_identical_is_zero(self):
+        assert nrmse([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_known_value(self):
+        # RMSE = 1, range = 2 -> 50%
+        assert nrmse([0, 2], [1, 1]) == pytest.approx(50.0)
+
+    def test_constant_reference_normalized_by_magnitude(self):
+        # rmse = sqrt(2), range = 0 -> normalize by max |ref| = 10.
+        assert nrmse([10, 10], [10, 12]) == pytest.approx(100.0 * np.sqrt(2.0) / 10.0)
+
+    def test_zero_reference(self):
+        assert nrmse([0, 0], [1, 1]) == pytest.approx(100.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            nrmse([1, 2], [1, 2, 3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            nrmse([], [])
+
+    @given(st.lists(floats, min_size=2, max_size=30))
+    def test_nonnegative_property(self, values):
+        approx = [v + 1 for v in values]
+        assert nrmse(values, approx) >= 0
+
+    @given(st.lists(floats, min_size=2, max_size=30))
+    def test_self_comparison_zero_property(self, values):
+        assert nrmse(values, values) == 0.0
+
+
+class TestPsnrAndMre:
+    def test_psnr_identical_infinite(self):
+        assert psnr([1, 2], [1, 2]) == float("inf")
+
+    def test_psnr_known(self):
+        # MSE = 1, peak 255 -> 10*log10(255^2) ~ 48.13 dB
+        assert psnr([0, 0], [1, -1]) == pytest.approx(48.13, abs=0.01)
+
+    def test_mre(self):
+        assert mean_relative_error([100, 200], [110, 220]) == pytest.approx(10.0)
+
+    def test_mre_ignores_zero_refs(self):
+        assert mean_relative_error([0, 100], [5, 110]) == pytest.approx(10.0)
+
+    def test_mre_all_zero_ref(self):
+        assert mean_relative_error([0, 0], [0, 0]) == 0.0
+        assert mean_relative_error([0, 0], [1, 0]) == float("inf")
+
+
+class TestQualityCurve:
+    def make_curve(self):
+        return QualityCurve([(0.5, 10.0), (1.0, 2.0), (1.5, 0.0)], label="test")
+
+    def test_points_sorted(self):
+        curve = QualityCurve([(1.0, 2.0), (0.5, 10.0)])
+        assert curve.runtimes == [0.5, 1.0]
+
+    def test_error_at_step_interpolation(self):
+        curve = self.make_curve()
+        assert curve.error_at(0.5) == 10.0
+        assert curve.error_at(0.9) == 10.0
+        assert curve.error_at(1.2) == 2.0
+        assert curve.error_at(99.0) == 0.0
+
+    def test_error_before_first_point(self):
+        assert self.make_curve().error_at(0.1) == 10.0
+
+    def test_runtime_to_reach(self):
+        curve = self.make_curve()
+        assert curve.runtime_to_reach(5.0) == 1.0
+        assert curve.runtime_to_reach(0.0) == 1.5
+        assert curve.runtime_to_reach(-1.0) == float("inf")
+
+    def test_final_error_and_first_runtime(self):
+        curve = self.make_curve()
+        assert curve.final_error == 0.0
+        assert curve.first_output_runtime == 0.5
+
+    def test_monotonic_check(self):
+        assert self.make_curve().is_monotonically_improving()
+        bad = QualityCurve([(0.5, 1.0), (1.0, 5.0)])
+        assert not bad.is_monotonically_improving()
+
+    def test_add_keeps_sorted(self):
+        curve = self.make_curve()
+        curve.add(0.1, 50.0)
+        assert curve.runtimes[0] == 0.1
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(ValueError):
+            QualityCurve().error_at(1.0)
+        with pytest.raises(ValueError):
+            _ = QualityCurve().final_error
+
+    def test_len_and_iter(self):
+        curve = self.make_curve()
+        assert len(curve) == 3
+        assert [p.error for p in curve] == [10.0, 2.0, 0.0]
+
+
+class TestFixedPoint:
+    def test_roundtrip_exact_for_representable(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.from_raw(fmt.to_raw(1.5)) == 1.5
+
+    def test_rounding(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.to_raw(0.004) == 1  # 0.004 * 256 = 1.024 -> 1
+        assert fmt.to_raw(0.0019) == 0  # 0.49 ulp rounds down
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.to_raw(300) == 255
+        assert fmt.to_raw(-5) == 0
+
+    def test_encode_decode_lists(self):
+        fmt = FixedPointFormat(16, 8)
+        values = [0.0, 1.25, 100.5]
+        assert fmt.decode(fmt.encode(values)) == values
+
+    def test_quantization_error_under_paper_bound(self):
+        """The paper keeps fixed-point conversion error under 1%."""
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 200, size=200)
+        assert Q16.quantization_error(values) < 0.01
+
+    def test_quantization_error_zero_input(self):
+        assert Q16.quantization_error([0.0, 0.0]) == 0.0
+
+    def test_invalid_format_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(0, 0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(16, 17)
+
+    def test_q32(self):
+        assert Q32.to_raw(1.0) == 1 << 16
+
+    @given(st.floats(0, 250, allow_nan=False))
+    def test_roundtrip_error_bounded_property(self, value):
+        fmt = FixedPointFormat(16, 8)
+        decoded = fmt.from_raw(fmt.to_raw(value))
+        assert abs(decoded - value) <= 1.0 / 512 + 1e-12

@@ -1,0 +1,191 @@
+"""Unit and property tests for subword decomposition and plane layouts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    group_size,
+    join_subwords,
+    pack_planes,
+    pack_planes_provisioned,
+    padded_count,
+    plane_count,
+    provisioned_group_size,
+    split_subwords,
+    unpack_planes,
+    unpack_planes_provisioned,
+)
+
+
+class TestSplitJoin:
+    def test_split_16bit_into_bytes(self):
+        assert split_subwords(0x1234, 8, 16) == [0x34, 0x12]
+
+    def test_split_16bit_into_nibbles(self):
+        assert split_subwords(0xABCD, 4, 16) == [0xD, 0xC, 0xB, 0xA]
+
+    def test_join_inverse(self):
+        assert join_subwords([0x34, 0x12], 8) == 0x1234
+
+    def test_value_masked_to_element(self):
+        assert split_subwords(0x1_FFFF, 8, 16) == [0xFF, 0xFF]
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            split_subwords(1, 0, 16)
+        with pytest.raises(ValueError):
+            split_subwords(1, 5, 16)
+
+    @given(st.integers(0, 0xFFFFFFFF), st.sampled_from([(4, 16), (8, 16), (4, 32), (8, 32), (16, 32)]))
+    def test_roundtrip_property(self, value, widths):
+        sub, elem = widths
+        value &= (1 << elem) - 1
+        assert join_subwords(split_subwords(value, sub, elem), sub) == value
+
+
+class TestGroupHelpers:
+    def test_group_size(self):
+        assert group_size(8) == 4
+        assert group_size(4) == 8
+        assert group_size(16) == 2
+
+    def test_group_size_rejects_nondivisor(self):
+        with pytest.raises(ValueError):
+            group_size(5)
+
+    def test_plane_count(self):
+        assert plane_count(8, 16) == 2
+        assert plane_count(4, 16) == 4
+        assert plane_count(8, 32) == 4
+
+    def test_provisioned_group_size(self):
+        assert provisioned_group_size(8) == 2  # 16-bit lanes
+        assert provisioned_group_size(4) == 4  # 8-bit lanes
+
+    def test_padded_count(self):
+        assert padded_count(5, 8) == 8  # groups of 4
+        assert padded_count(8, 8) == 8
+        assert padded_count(9, 4) == 16
+
+
+class TestPlanePacking:
+    def test_pack_msb_plane_first(self):
+        # Four 16-bit elements, 8-bit subwords: plane 0 = the MSBs.
+        values = [0x1234, 0x5678, 0x9ABC, 0xDEF0]
+        words = pack_planes(values, 8, 16)
+        assert len(words) == 2
+        assert words[0] == 0xDE9A5612  # MSBs, element 0 in the low lane
+        assert words[1] == 0xF0BC7834  # LSBs
+
+    def test_unpack_inverse(self):
+        values = [0x1234, 0x5678, 0x9ABC, 0xDEF0]
+        words = pack_planes(values, 8, 16)
+        assert unpack_planes(words, 8, 16, 4) == values
+
+    def test_pack_pads_partial_group(self):
+        words = pack_planes([0x1234], 8, 16)
+        assert len(words) == 2
+        assert unpack_planes(words, 8, 16, 1) == [0x1234]
+
+    def test_unpack_insufficient_words_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_planes([0], 8, 16, 4)
+
+    def test_partial_planes_give_partial_values(self):
+        """Zero LSb planes (not yet computed) yield the MSb approximation."""
+        values = [0x1234, 0x5678, 0x9ABC, 0xDEF0]
+        words = pack_planes(values, 8, 16)
+        words[1] = 0  # LSb plane not yet written
+        approx = unpack_planes(words, 8, 16, 4)
+        assert approx == [v & 0xFF00 for v in values]
+
+    @given(
+        st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=40),
+        st.sampled_from([4, 8]),
+    )
+    def test_roundtrip_16bit_property(self, values, bits):
+        words = pack_planes(values, bits, 16)
+        assert unpack_planes(words, bits, 16, len(values)) == values
+
+    @given(
+        st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=20),
+        st.sampled_from([4, 8]),
+    )
+    def test_roundtrip_32bit_property(self, values, bits):
+        words = pack_planes(values, bits, 32)
+        assert unpack_planes(words, bits, 32, len(values)) == values
+
+
+class TestProvisionedPacking:
+    def test_lane_doubling(self):
+        # 8-bit subwords in 16-bit lanes: 2 elements per word.
+        values = [0x1234, 0x5678]
+        words = pack_planes_provisioned(values, 8, 16)
+        assert len(words) == 2
+        assert words[0] == 0x00560012  # MSBs in 16-bit lanes
+        assert words[1] == 0x00780034
+
+    def test_unpack_inverse(self):
+        values = [0x1234, 0x5678, 0x9ABC]
+        words = pack_planes_provisioned(values, 8, 16)
+        assert unpack_planes_provisioned(words, 8, 16, 3) == values
+
+    def test_carry_bits_recombine(self):
+        """Lane values above the subword width (carry-outs from a
+        vectorized add) contribute to the next significance level."""
+        # One element, 8-bit subwords: planes [MSb, LSb].
+        # LSb lane holds 0x1FF (carry bit set) -> value = 0x100 + 0xFF + MSb<<8.
+        words = [0x0001, 0x01FF]
+        assert unpack_planes_provisioned(words, 8, 16, 1) == [0x1FF + 0x100]
+
+    def test_insufficient_words_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_planes_provisioned([0], 8, 16, 4)
+
+    @given(
+        st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=20),
+        st.sampled_from([4, 8]),
+    )
+    def test_roundtrip_property(self, values, bits):
+        words = pack_planes_provisioned(values, bits, 16)
+        assert unpack_planes_provisioned(words, bits, 16, len(values)) == values
+
+    @given(
+        st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=16),
+        st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=16),
+    )
+    def test_provisioned_vector_add_is_exact(self, a_values, b_values):
+        """The headline provisioned-SWV property: packed lane-wise adds
+        with 2W lanes reconstruct the exact elementwise sum."""
+        from repro.sim import SubwordAdder
+
+        n = min(len(a_values), len(b_values))
+        a_values, b_values = a_values[:n], b_values[:n]
+        adder = SubwordAdder()
+        a_words = pack_planes_provisioned(a_values, 8, 16)
+        b_words = pack_planes_provisioned(b_values, 8, 16)
+        summed = [adder.add_vector(x, y, 16) for x, y in zip(a_words, b_words)]
+        result = unpack_planes_provisioned(summed, 8, 16, n, result_bits=32)
+        assert result == [(x + y) for x, y in zip(a_values, b_values)]
+
+    @given(
+        st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=16),
+        st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=16),
+    )
+    def test_unprovisioned_vector_add_drops_carries(self, a_values, b_values):
+        """Unprovisioned lanes wrap mod 2^W per subword (paper Fig. 14)."""
+        from repro.sim import SubwordAdder
+
+        n = min(len(a_values), len(b_values))
+        a_values, b_values = a_values[:n], b_values[:n]
+        adder = SubwordAdder()
+        a_words = pack_planes(a_values, 8, 16)
+        b_words = pack_planes(b_values, 8, 16)
+        summed = [adder.add_vector(x, y, 8) for x, y in zip(a_words, b_words)]
+        result = unpack_planes(summed, 8, 16, n)
+        expected = []
+        for x, y in zip(a_values, b_values):
+            lo = ((x & 0xFF) + (y & 0xFF)) & 0xFF
+            hi = ((x >> 8) + (y >> 8)) & 0xFF
+            expected.append((hi << 8) | lo)
+        assert result == expected

@@ -1,0 +1,178 @@
+"""Differential testing: the CPU vs an independent golden model.
+
+Hypothesis generates random straight-line ALU/memory programs; a tiny
+independent Python interpreter (written against the ISA *spec*, sharing
+no code with `repro.sim.cpu`) predicts the architectural result, and
+the two must agree on every register and touched memory word.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Instruction, Program, to_signed
+from repro.sim import CPU, default_memory
+
+MASK32 = 0xFFFFFFFF
+SCRATCH_BASE = 0x400
+
+
+# ---------------------------------------------------------------------------
+# Golden model (independent implementation).
+# ---------------------------------------------------------------------------
+
+
+def golden_run(instructions, initial_regs):
+    regs = list(initial_regs)
+    memory = {}
+
+    def signed(v):
+        return v - (1 << 32) if v & 0x80000000 else v
+
+    for instr in instructions:
+        op = instr.op
+        src = regs[instr.rm] if instr.rm is not None else instr.imm
+        if op == "MOV":
+            regs[instr.rd] = src & MASK32
+        elif op == "MVN":
+            regs[instr.rd] = (~src) & MASK32
+        elif op == "ADD":
+            regs[instr.rd] = (regs[instr.rn] + src) & MASK32
+        elif op == "SUB":
+            regs[instr.rd] = (regs[instr.rn] - src) & MASK32
+        elif op == "RSB":
+            regs[instr.rd] = (src - regs[instr.rn]) & MASK32
+        elif op == "AND":
+            regs[instr.rd] = regs[instr.rn] & src
+        elif op == "ORR":
+            regs[instr.rd] = regs[instr.rn] | src
+        elif op == "EOR":
+            regs[instr.rd] = regs[instr.rn] ^ src
+        elif op == "BIC":
+            regs[instr.rd] = regs[instr.rn] & ~src & MASK32
+        elif op == "LSL":
+            regs[instr.rd] = (regs[instr.rn] << min(src & 0xFF, 32)) & MASK32
+        elif op == "LSR":
+            regs[instr.rd] = (regs[instr.rn] & MASK32) >> min(src & 0xFF, 32)
+        elif op == "ASR":
+            regs[instr.rd] = (signed(regs[instr.rn]) >> min(src & 0xFF, 32)) & MASK32
+        elif op == "NEG":
+            regs[instr.rd] = (-src) & MASK32
+        elif op == "SXTB":
+            regs[instr.rd] = (src & 0xFF | (~0xFF if src & 0x80 else 0)) & MASK32
+        elif op == "SXTH":
+            regs[instr.rd] = (src & 0xFFFF | (~0xFFFF if src & 0x8000 else 0)) & MASK32
+        elif op == "UXTB":
+            regs[instr.rd] = src & 0xFF
+        elif op == "UXTH":
+            regs[instr.rd] = src & 0xFFFF
+        elif op == "MUL":
+            regs[instr.rd] = (regs[instr.rd] * regs[instr.rm]) & MASK32
+        elif op == "STR":
+            memory[regs[instr.rn] + instr.imm] = regs[instr.rd] & MASK32
+        elif op == "LDR":
+            regs[instr.rd] = memory.get(regs[instr.rn] + instr.imm, 0)
+        elif op == "HALT":
+            break
+        else:  # pragma: no cover - strategy only generates the above
+            raise AssertionError(op)
+    return regs, memory
+
+
+# ---------------------------------------------------------------------------
+# Program strategy.
+# ---------------------------------------------------------------------------
+
+_REG = st.integers(0, 7)
+_IMM = st.integers(0, 0xFFFF)
+_SHIFT = st.integers(0, 32)
+
+_THREE_OP = ("ADD", "SUB", "RSB", "AND", "ORR", "EOR", "BIC")
+_UNARY = ("MOV", "MVN", "NEG", "SXTB", "SXTH", "UXTB", "UXTH")
+_SHIFTS = ("LSL", "LSR", "ASR")
+
+
+@st.composite
+def alu_instruction(draw):
+    kind = draw(st.sampled_from(("three", "three_imm", "unary", "unary_imm",
+                                 "shift", "mul", "store", "load")))
+    rd = draw(_REG)
+    if kind == "three":
+        return Instruction(draw(st.sampled_from(_THREE_OP)), rd=rd,
+                           rn=draw(_REG), rm=draw(_REG))
+    if kind == "three_imm":
+        return Instruction(draw(st.sampled_from(_THREE_OP)), rd=rd,
+                           rn=draw(_REG), imm=draw(_IMM))
+    if kind == "unary":
+        return Instruction(draw(st.sampled_from(_UNARY)), rd=rd, rm=draw(_REG))
+    if kind == "unary_imm":
+        return Instruction("MOV", rd=rd, imm=draw(_IMM))
+    if kind == "shift":
+        return Instruction(draw(st.sampled_from(_SHIFTS)), rd=rd,
+                           rn=draw(_REG), imm=draw(_SHIFT))
+    if kind == "mul":
+        return Instruction("MUL", rd=rd, rn=rd, rm=draw(_REG))
+    if kind == "store":
+        # R8 holds the scratch base; word slots 0..15.
+        return Instruction("STR", rd=rd, rn=8, imm=draw(st.integers(0, 15)) * 4)
+    return Instruction("LDR", rd=rd, rn=8, imm=draw(st.integers(0, 15)) * 4)
+
+
+@st.composite
+def programs(draw):
+    body = draw(st.lists(alu_instruction(), min_size=1, max_size=40))
+    regs = draw(st.lists(st.integers(0, MASK32), min_size=8, max_size=8))
+    return body, regs
+
+
+class TestDifferential:
+    @settings(deadline=None, max_examples=120)
+    @given(programs())
+    def test_cpu_matches_golden_model(self, case):
+        body, initial = case
+        instructions = body + [Instruction("HALT")]
+        program = Program(instructions, {})
+        cpu = CPU(program, default_memory())
+        for i, value in enumerate(initial):
+            cpu.regs[i] = value
+        cpu.regs[8] = SCRATCH_BASE
+        cpu.run()
+
+        golden_regs, golden_mem = golden_run(
+            instructions, initial + [SCRATCH_BASE] + [0] * 7
+        )
+        for i in range(9):
+            assert cpu.regs[i] == golden_regs[i], (i, body)
+        for addr, value in golden_mem.items():
+            assert cpu.memory.load_word(addr) == value, (hex(addr), body)
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.integers(0, MASK32), st.integers(0, MASK32))
+    def test_mul_matches_python(self, a, b):
+        program = Program([Instruction("MUL", rd=0, rn=0, rm=1), Instruction("HALT")], {})
+        cpu = CPU(program, default_memory())
+        cpu.regs[0] = a
+        cpu.regs[1] = b
+        cpu.run()
+        assert cpu.regs[0] == (a * b) & MASK32
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.integers(0, MASK32), st.integers(0, MASK32))
+    def test_flags_match_arm_semantics(self, a, b):
+        """CMP sets flags so signed/unsigned branches agree with Python."""
+        program = Program(
+            [Instruction("CMP", rn=0, rm=1), Instruction("HALT")], {}
+        )
+        cpu = CPU(program, default_memory())
+        cpu.regs[0] = a
+        cpu.regs[1] = b
+        cpu.run()
+        flags = cpu.flags
+        assert flags.condition("EQ") == (a == b)
+        assert flags.condition("NE") == (a != b)
+        assert flags.condition("LO") == (a < b)  # unsigned
+        assert flags.condition("HS") == (a >= b)
+        assert flags.condition("HI") == (a > b)
+        assert flags.condition("LS") == (a <= b)
+        assert flags.condition("LT") == (to_signed(a) < to_signed(b))
+        assert flags.condition("GE") == (to_signed(a) >= to_signed(b))
+        assert flags.condition("GT") == (to_signed(a) > to_signed(b))
+        assert flags.condition("LE") == (to_signed(a) <= to_signed(b))

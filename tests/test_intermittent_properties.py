@@ -1,0 +1,129 @@
+"""Property-based correctness of intermittent execution.
+
+The strongest invariant in this system: **where the outages fall must
+not change the final answer** (only how long it takes). We randomize
+the outage pattern through the capacitor size and trace seed and check
+the final memory equals the uninterrupted run's for every runtime.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AnytimeConfig, AnytimeKernel
+from repro.isa import assemble
+from repro.power import Capacitor, EnergyModel, PowerSupply, wifi_trace
+from repro.runtime import (
+    ClankRuntime,
+    HibernusRuntime,
+    IntermittentExecutor,
+    NVPRuntime,
+)
+from repro.sim import CPU, default_memory
+from repro.workloads import make_workload
+
+# A program with stores, loads, WAR hazards and data-dependent control:
+# an in-place prefix-sum then a threshold count.
+PROGRAM = """
+.equ DATA, 0x100
+.equ OUT, 0x8000
+.equ N, {n}
+    MOV R0, #DATA
+    MOV R2, #1
+LOOP:
+    LSL R3, R2, #2
+    ADD R3, R3, R0
+    LDR R4, [R3, #0]
+    LDR R5, [R3, #-4]
+    ADD R4, R4, R5
+    STR R4, [R3, #0]
+    ADD R2, R2, #1
+    CMP R2, #N
+    BLT LOOP
+    MOV R6, #0
+    MOV R2, #0
+COUNT:
+    LSL R3, R2, #2
+    LDR R4, [R0, R3]
+    CMP R4, #{threshold}
+    BLT SKIP
+    ADD R6, R6, #1
+SKIP:
+    ADD R2, R2, #1
+    CMP R2, #N
+    BLT COUNT
+    MOV R1, #OUT
+    STR R6, [R1, #0]
+    HALT
+"""
+
+N = 64
+THRESHOLD = 900
+
+
+def build_cpu(values):
+    source = PROGRAM.format(n=N, threshold=THRESHOLD)
+    cpu = CPU(assemble(source), default_memory())
+    cpu.memory.write_words(0x100, values)
+    return cpu
+
+
+def continuous_result(values):
+    cpu = build_cpu(values)
+    cpu.run()
+    return cpu.memory.load_word(0x8000), cpu.memory.read_words(0x100, N)
+
+
+RUNTIMES = {
+    "clank": lambda: ClankRuntime(watchdog_cycles=300),
+    "nvp": NVPRuntime,
+    "hibernus": lambda: HibernusRuntime(snapshot_cycles=120, restore_cycles=120),
+}
+
+
+class TestOutagePlacementInvariance:
+    @settings(deadline=None, max_examples=12)
+    @given(
+        st.lists(st.integers(0, 50), min_size=N, max_size=N),
+        st.integers(0, 5),
+        st.sampled_from([0.02e-6, 0.05e-6, 0.15e-6]),
+        st.sampled_from(sorted(RUNTIMES)),
+    )
+    def test_final_state_independent_of_outages(self, values, seed, capacitance, runtime_name):
+        expected_out, expected_data = continuous_result(values)
+        cpu = build_cpu(values)
+        supply = PowerSupply(
+            wifi_trace(duration_ms=3000, seed=seed),
+            Capacitor(capacitance_f=capacitance, v_initial=3.0, v_max=3.3),
+            EnergyModel(),
+        )
+        result = IntermittentExecutor(cpu, supply, RUNTIMES[runtime_name]()).run(
+            max_wall_ms=500_000
+        )
+        assert result.completed, (runtime_name, seed, capacitance)
+        assert cpu.memory.load_word(0x8000) == expected_out
+        assert cpu.memory.read_words(0x100, N) == expected_data
+
+
+class TestAnytimeOutageInvariance:
+    """The *precise* convergence of anytime builds is also outage-
+    invariant: if no skim is taken (register disarmed), the WN build
+    under outages produces the exact result."""
+
+    @settings(deadline=None, max_examples=6)
+    @given(st.integers(0, 4))
+    def test_swp_without_skim_is_exact_under_outages(self, seed):
+        workload = make_workload("MatMul", "tiny")
+        kernel = AnytimeKernel(workload.kernel, AnytimeConfig(mode="swp", bits=8))
+        cpu = kernel.make_cpu(workload.inputs)
+        cpu.skim_hook = None  # device never arms the skim register
+        supply = PowerSupply(
+            wifi_trace(duration_ms=3000, seed=seed),
+            Capacitor(capacitance_f=0.1e-6, v_initial=3.0, v_max=3.3),
+            EnergyModel(),
+        )
+        runtime = ClankRuntime(watchdog_cycles=500)
+        executor = IntermittentExecutor(cpu, supply, runtime)
+        cpu.skim_hook = lambda target: None  # attach() rebinds; disarm again
+        result = executor.run(max_wall_ms=500_000)
+        assert result.completed
+        assert not result.skim_taken
+        assert workload.decode(kernel.read_outputs(cpu)) == workload.decoded_reference()

@@ -1,0 +1,168 @@
+"""ISA conformance: multi-word arithmetic, flag chains, edge cases.
+
+Firmware relies on exact carry/borrow chaining (64-bit arithmetic via
+ADC/SBC) and shift edge semantics; these tests pin them down.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import assemble, to_signed
+from repro.sim import CPU, default_memory
+
+MASK32 = 0xFFFFFFFF
+u32 = st.integers(0, MASK32)
+u64 = st.integers(0, (1 << 64) - 1)
+
+
+def run(source, setup=None):
+    cpu = CPU(assemble(source), default_memory())
+    if setup:
+        setup(cpu)
+    cpu.run()
+    return cpu
+
+
+# 64-bit add: (R1:R0) + (R3:R2) -> (R5:R4)
+ADD64 = """
+    ADD R4, R0, R2
+    ADC R5, R1, R3
+    HALT
+"""
+
+# 64-bit subtract: (R1:R0) - (R3:R2) -> (R5:R4)
+SUB64 = """
+    SUB R4, R0, R2
+    SBC R5, R1, R3
+    HALT
+"""
+
+
+class TestMultiWordArithmetic:
+    @settings(deadline=None, max_examples=60)
+    @given(u64, u64)
+    def test_add64_matches_python(self, a, b):
+        def setup(cpu):
+            cpu.regs[0] = a & MASK32
+            cpu.regs[1] = a >> 32
+            cpu.regs[2] = b & MASK32
+            cpu.regs[3] = b >> 32
+
+        cpu = run(ADD64, setup)
+        got = (cpu.regs[5] << 32) | cpu.regs[4]
+        assert got == (a + b) & ((1 << 64) - 1)
+
+    @settings(deadline=None, max_examples=60)
+    @given(u64, u64)
+    def test_sub64_matches_python(self, a, b):
+        def setup(cpu):
+            cpu.regs[0] = a & MASK32
+            cpu.regs[1] = a >> 32
+            cpu.regs[2] = b & MASK32
+            cpu.regs[3] = b >> 32
+
+        cpu = run(SUB64, setup)
+        got = (cpu.regs[5] << 32) | cpu.regs[4]
+        assert got == (a - b) & ((1 << 64) - 1)
+
+
+class TestShiftEdges:
+    def test_shift_by_zero_is_identity(self):
+        cpu = run("MOV R0, #0xABC\nLSL R1, R0, #0\nLSR R2, R0, #0\nASR R3, R0, #0\nHALT")
+        assert cpu.regs[1] == cpu.regs[2] == cpu.regs[3] == 0xABC
+
+    def test_shift_by_32_clears(self):
+        def setup(cpu):
+            cpu.regs[0] = 0xDEADBEEF
+        cpu = run("LSL R1, R0, #32\nLSR R2, R0, #32\nHALT", setup)
+        assert cpu.regs[1] == 0
+        assert cpu.regs[2] == 0
+
+    def test_asr_by_32_propagates_sign(self):
+        def setup(cpu):
+            cpu.regs[0] = 0x80000000
+        cpu = run("ASR R1, R0, #32\nHALT", setup)
+        assert cpu.regs[1] == MASK32
+
+    @given(u32, st.integers(0, 31))
+    def test_shift_register_amount(self, value, amount):
+        def setup(cpu):
+            cpu.regs[0] = value
+            cpu.regs[1] = amount
+        cpu = run("LSR R2, R0, R1\nHALT", setup)
+        assert cpu.regs[2] == value >> amount
+
+
+class TestFlagChains:
+    def test_tst_sets_zero_without_writing(self):
+        def setup(cpu):
+            cpu.regs[0] = 0xF0
+            cpu.regs[1] = 0x0F
+        cpu = run("TST R0, R1\nHALT", setup)
+        assert cpu.flags.z
+        assert cpu.regs[0] == 0xF0
+
+    def test_cmn_detects_negated_equality(self):
+        def setup(cpu):
+            cpu.regs[0] = 5
+            cpu.regs[1] = (-5) & MASK32
+        cpu = run("CMN R0, R1\nHALT", setup)
+        assert cpu.flags.z
+
+    def test_overflow_flag_on_signed_boundaries(self):
+        def setup(cpu):
+            cpu.regs[0] = 0x7FFFFFFF
+        cpu = run("ADD R1, R0, #1\nHALT", setup)
+        assert cpu.flags.v
+        assert cpu.flags.n
+
+    def test_sbc_borrow_chain(self):
+        # 0x1_00000000 - 1 = 0xFFFFFFFF: low subtract borrows.
+        def setup(cpu):
+            cpu.regs[0] = 0
+            cpu.regs[1] = 1
+            cpu.regs[2] = 1
+            cpu.regs[3] = 0
+        cpu = run(SUB64, setup)
+        assert cpu.regs[4] == MASK32
+        assert cpu.regs[5] == 0
+
+    @given(u32, u32)
+    def test_branch_after_sub_matches_comparison(self, a, b):
+        """SUB-set flags drive conditional branches exactly like CMP."""
+        source = """
+        SUB R2, R0, R1
+        BGE GE
+        MOV R3, #0
+        B DONE
+        GE: MOV R3, #1
+        DONE: HALT
+        """
+        def setup(cpu):
+            cpu.regs[0] = a
+            cpu.regs[1] = b
+        cpu = run(source, setup)
+        assert cpu.regs[3] == (1 if to_signed(a) >= to_signed(b) else 0)
+
+
+class TestHaltAndPc:
+    def test_bx_to_arbitrary_index(self):
+        cpu = run("MOV R0, #3\nBX R0\nMOV R1, #9\nHALT")
+        assert cpu.regs[1] == 0  # the MOV at index 2 was skipped
+
+    def test_nested_calls(self):
+        source = """
+            BL OUTER
+            HALT
+        OUTER:
+            MOV R6, LR
+            BL INNER
+            MOV LR, R6
+            ADD R0, R0, #10
+            BX LR
+        INNER:
+            ADD R0, R0, #1
+            BX LR
+        """
+        cpu = run(source)
+        assert cpu.regs[0] == 11

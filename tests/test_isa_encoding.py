@@ -1,0 +1,105 @@
+"""Round-trip tests for the binary instruction encoding."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    RECORD_SIZE,
+    Instruction,
+    assemble,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.encoding import OPCODES
+
+import pytest
+
+
+SAMPLE_SOURCE = """
+.equ N, 16
+START:
+    MOV  R0, #0x100
+    MOV  R1, #0
+LOOP:
+    LDR  R2, [R0, R1]
+    MUL_ASP4 R2, R3, #2
+    ADD_ASV8 R2, R4
+    STR  R2, [R0, R1]
+    ADD  R1, R1, #4
+    CMP  R1, #N
+    BLT  LOOP
+    SKM  DONE
+DONE:
+    HALT
+"""
+
+
+class TestInstructionEncoding:
+    def test_record_size_fixed(self):
+        instr = Instruction("NOP")
+        assert len(encode_instruction(instr)) == RECORD_SIZE
+
+    def test_simple_roundtrip(self):
+        instr = Instruction("ADD", rd=1, rn=2, rm=3)
+        assert decode_instruction(encode_instruction(instr)) == instr
+
+    def test_immediate_roundtrip(self):
+        instr = Instruction("MOV", rd=1, imm=-5 & 0xFFFF)
+        assert decode_instruction(encode_instruction(instr)) == instr
+
+    def test_zero_immediate_distinct_from_absent(self):
+        with_imm = Instruction("LDR", rd=0, rn=1, imm=0)
+        decoded = decode_instruction(encode_instruction(with_imm))
+        assert decoded.imm == 0
+
+    def test_label_roundtrip_with_label_map(self):
+        instr = Instruction("B", label="LOOP", target=7)
+        decoded = decode_instruction(encode_instruction(instr), labels={7: "LOOP"})
+        assert decoded == instr
+        assert decoded.target == 7
+
+    def test_unresolved_label_rejected(self):
+        with pytest.raises(ValueError):
+            encode_instruction(Instruction("B", label="LOOP"))
+
+    def test_opcode_numbering_is_stable(self):
+        assert OPCODES == {op: i for i, op in enumerate(sorted(OPCODES))}
+
+
+class TestProgramEncoding:
+    def test_program_roundtrip(self):
+        program = assemble(SAMPLE_SOURCE)
+        blob = encode_program(program)
+        assert len(blob) == RECORD_SIZE * len(program)
+        decoded = decode_program(blob, labels=program.labels)
+        assert list(decoded) == list(program)
+
+    def test_truncated_blob_rejected(self):
+        program = assemble("NOP\nHALT")
+        blob = encode_program(program)
+        with pytest.raises(ValueError):
+            decode_program(blob[:-1])
+
+
+@st.composite
+def instructions(draw):
+    """Generate arbitrary well-formed three-register instructions."""
+    op = draw(st.sampled_from(["ADD", "SUB", "AND", "ORR", "EOR", "LSL", "MUL"]))
+    rd = draw(st.integers(0, 15))
+    rn = draw(st.integers(0, 15))
+    use_imm = draw(st.booleans())
+    if use_imm and op != "MUL":
+        return Instruction(op, rd=rd, rn=rn, imm=draw(st.integers(0, 2**20)))
+    return Instruction(op, rd=rd, rn=rn, rm=draw(st.integers(0, 15)))
+
+
+class TestEncodingProperties:
+    @given(instructions())
+    def test_roundtrip_property(self, instr):
+        assert decode_instruction(encode_instruction(instr)) == instr
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 3))
+    def test_asp_roundtrip_property(self, rd, rm, pos):
+        instr = Instruction("MUL_ASP4", rd=rd, rn=rd, rm=rm, imm=pos)
+        assert decode_instruction(encode_instruction(instr)) == instr

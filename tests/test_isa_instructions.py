@@ -1,0 +1,106 @@
+"""Unit tests for instruction definitions and cycle costs."""
+
+import pytest
+
+from repro.isa import (
+    ASP_OPS,
+    ASP_WIDTHS,
+    ASV_OPS,
+    ASV_WIDTHS,
+    MUL_CYCLES,
+    Instruction,
+    asp_width,
+    asv_width,
+    cycle_cost,
+)
+
+
+class TestInstruction:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("FROB")
+
+    def test_equality_ignores_text_and_line(self):
+        a = Instruction("ADD", rd=0, rn=0, rm=1, text="ADD R0, R1", line=3)
+        b = Instruction("ADD", rd=0, rn=0, rm=1, text="add r0, r1", line=9)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert Instruction("ADD", rd=0, rn=0, rm=1) != Instruction("SUB", rd=0, rn=0, rm=1)
+        assert Instruction("ADD", rd=0, rn=0, rm=1) != "ADD"
+
+    def test_wn_ops_are_32bit_encodings(self):
+        assert Instruction("MUL_ASP8", rd=0, rn=0, rm=1, imm=0).size_bytes == 4
+        assert Instruction("ADD_ASV4", rd=0, rn=0, rm=1).size_bytes == 4
+        assert Instruction("SKM", label="END", target=0).size_bytes == 4
+
+    def test_base_ops_are_16bit_encodings(self):
+        assert Instruction("ADD", rd=0, rn=0, rm=1).size_bytes == 2
+        assert Instruction("MUL", rd=0, rn=0, rm=1).size_bytes == 2
+        assert Instruction("LDR", rd=0, rn=1, imm=0).size_bytes == 2
+
+    def test_is_wn_flag(self):
+        assert Instruction("MUL_ASP4", rd=0, rn=0, rm=1, imm=0).is_wn
+        assert Instruction("SKM", label="L", target=0).is_wn
+        assert not Instruction("MUL", rd=0, rn=0, rm=1).is_wn
+        assert not Instruction("ADD", rd=0, rn=0, rm=1).is_wn
+
+
+class TestWidthHelpers:
+    @pytest.mark.parametrize("width", ASP_WIDTHS)
+    def test_asp_width_roundtrip(self, width):
+        assert asp_width(f"MUL_ASP{width}") == width
+
+    @pytest.mark.parametrize("width", ASV_WIDTHS)
+    def test_asv_width_roundtrip(self, width):
+        assert asv_width(f"ADD_ASV{width}") == width
+        assert asv_width(f"SUB_ASV{width}") == width
+
+    def test_asp_width_rejects_non_asp(self):
+        with pytest.raises(ValueError):
+            asp_width("MUL")
+
+    def test_asv_width_rejects_non_asv(self):
+        with pytest.raises(ValueError):
+            asv_width("ADD")
+
+    def test_all_asp_widths_have_ops(self):
+        assert ASP_OPS == {f"MUL_ASP{b}" for b in ASP_WIDTHS}
+
+    def test_all_asv_widths_have_ops(self):
+        assert ASV_OPS == {
+            f"{op}_ASV{w}" for op in ("ADD", "SUB") for w in ASV_WIDTHS
+        }
+
+
+class TestCycleCost:
+    def test_alu_single_cycle(self):
+        assert cycle_cost(Instruction("ADD", rd=0, rn=0, rm=1)) == 1
+        assert cycle_cost(Instruction("MOV", rd=0, imm=5)) == 1
+
+    def test_memory_two_cycles(self):
+        assert cycle_cost(Instruction("LDR", rd=0, rn=1, imm=0)) == 2
+        assert cycle_cost(Instruction("STRB", rd=0, rn=1, imm=0)) == 2
+
+    def test_full_multiply_is_iterative(self):
+        assert cycle_cost(Instruction("MUL", rd=0, rn=0, rm=1)) == MUL_CYCLES == 16
+
+    @pytest.mark.parametrize("width", ASP_WIDTHS)
+    def test_asp_multiply_costs_width_cycles(self, width):
+        instr = Instruction(f"MUL_ASP{width}", rd=0, rn=0, rm=1, imm=0)
+        assert cycle_cost(instr) == width
+
+    def test_vector_add_single_cycle(self):
+        assert cycle_cost(Instruction("ADD_ASV8", rd=0, rn=0, rm=1)) == 1
+
+    def test_branch_taken_vs_untaken(self):
+        branch = Instruction("BEQ", label="L", target=0)
+        assert cycle_cost(branch, taken=True) == 2
+        assert cycle_cost(branch, taken=False) == 1
+
+    def test_call_costs_three(self):
+        assert cycle_cost(Instruction("BL", label="F", target=0), taken=True) == 3
+
+    def test_skim_single_cycle(self):
+        assert cycle_cost(Instruction("SKM", label="END", target=0)) == 1

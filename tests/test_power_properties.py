@@ -1,0 +1,125 @@
+"""Property tests for the power substrate and executor accounting."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import assemble
+from repro.power import (
+    Capacitor,
+    EnergyModel,
+    PowerSupply,
+    constant_trace,
+    square_trace,
+    wifi_trace,
+)
+from repro.runtime import ClankRuntime, IntermittentExecutor, NVPRuntime
+from repro.sim import CPU, default_memory
+
+
+class TestCapacitorProperties:
+    @given(
+        st.floats(0.0, 4.5),
+        st.lists(st.floats(0, 1e-5, allow_nan=False), max_size=30),
+    )
+    def test_energy_never_negative_and_bounded(self, v0, events):
+        cap = Capacitor(v_initial=v0)
+        e_max = cap.energy_at(cap.v_max)
+        for i, amount in enumerate(events):
+            if i % 2:
+                cap.draw(amount)
+            else:
+                cap.harvest(amount)
+            assert 0.0 <= cap.energy <= e_max + 1e-18
+            assert 0.0 <= cap.voltage <= cap.v_max + 1e-9
+
+    @given(st.floats(0.0, 4.4))
+    def test_voltage_energy_inverse(self, voltage):
+        cap = Capacitor()
+        cap.set_voltage(voltage)
+        assert abs(cap.voltage - voltage) < 1e-9
+
+    @given(st.floats(0, 1e-5), st.floats(0, 1e-5))
+    def test_harvest_draw_order_conserves(self, gain, cost):
+        """Harvest then draw == draw then harvest when neither clamps."""
+        a = Capacitor(v_initial=2.5)
+        b = Capacitor(v_initial=2.5)
+        a.harvest(gain)
+        a.draw(cost)
+        b.draw(cost)
+        b.harvest(gain)
+        if 0 < a.energy < a.energy_at(a.v_max) and 0 < b.energy < b.energy_at(b.v_max):
+            assert abs(a.energy - b.energy) < 1e-15
+
+
+class TestSupplyProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 5), st.integers(1, 30))
+    def test_supply_accounting_invariants(self, seed, ticks):
+        supply = PowerSupply(
+            wifi_trace(duration_ms=500, seed=seed),
+            Capacitor(capacitance_f=0.1e-6, v_initial=3.0, v_max=3.3),
+            EnergyModel(),
+        )
+        for _ in range(ticks):
+            supply.charge_until_on()
+            budget = supply.begin_tick()
+            assert 0 <= budget <= supply.energy.cycles_per_ms
+            supply.consume_cycles(budget)
+            supply.finish_tick()
+        assert supply.total_on_ms + supply.total_off_ms <= supply.tick
+        assert supply.total_cycles >= 0
+
+    def test_energy_limited_tick_browns_out(self):
+        supply = PowerSupply(
+            constant_trace(0.0, 10),
+            Capacitor(capacitance_f=0.05e-6, v_initial=3.0, v_max=3.3),
+            EnergyModel(),
+        )
+        supply.charge_until_on()
+        budget = supply.begin_tick()
+        assert supply.tick_energy_limited
+        supply.consume_cycles(budget)
+        assert supply.finish_tick() is False
+
+
+class TestExecutorAccounting:
+    def make_executor(self, runtime, seed=0):
+        source = """
+        .equ OUT, 0x8000
+            MOV R0, #0
+        LOOP:
+            ADD R0, R0, #1
+            CMP R0, #30000
+            BLT LOOP
+            MOV R1, #OUT
+            STR R0, [R1, #0]
+            HALT
+        """
+        cpu = CPU(assemble(source), default_memory())
+        supply = PowerSupply(
+            wifi_trace(duration_ms=4000, seed=seed),
+            Capacitor(capacitance_f=0.05e-6, v_initial=3.0, v_max=3.3),
+            EnergyModel(),
+        )
+        return IntermittentExecutor(cpu, supply, runtime)
+
+    def test_wall_equals_on_plus_off(self):
+        result = self.make_executor(NVPRuntime()).run()
+        assert result.completed
+        assert result.wall_ms == result.on_ms + result.off_ms
+
+    def test_active_cycles_bounded_by_on_time(self):
+        result = self.make_executor(NVPRuntime(), seed=1).run()
+        assert result.active_cycles <= result.on_ms * 24_000
+
+    def test_clank_reexecutes_more_than_nvp(self):
+        clank = self.make_executor(ClankRuntime(watchdog_cycles=400), seed=2).run()
+        nvp = self.make_executor(NVPRuntime(), seed=2).run()
+        assert clank.completed and nvp.completed
+        assert clank.active_cycles >= nvp.active_cycles
+
+    def test_outage_count_matches_restores(self):
+        runtime = NVPRuntime()
+        result = self.make_executor(runtime, seed=3).run()
+        # One restore per power-on: the initial boot adds one, and an
+        # outage in the same tick the program halts has no restore.
+        assert result.outages <= runtime.stats.restores <= result.outages + 1

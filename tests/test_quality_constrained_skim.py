@@ -1,0 +1,93 @@
+"""Tests for quality-constrained skim points (library extension).
+
+With ``min_quality_level = k``, a restore only accepts the approximate
+result after at least ``k`` subword phases completed; below the
+threshold, the device resumes refining through outages. Raising the
+threshold trades forward progress for accuracy — the paper's
+flexibility argument, made into a runtime knob.
+"""
+
+import pytest
+
+from repro.core import AnytimeConfig, AnytimeKernel, nrmse
+from repro.power import Capacitor, EnergyModel, PowerSupply, wifi_trace
+from repro.runtime import ClankRuntime, IntermittentExecutor, SkimRegister
+from repro.workloads import make_workload
+
+
+class TestRegisterSemantics:
+    def test_default_is_paper_behaviour(self):
+        skim = SkimRegister()
+        skim.set(10)
+        assert skim.armed
+
+    def test_below_threshold_not_armed(self):
+        skim = SkimRegister(min_quality_level=2)
+        skim.set(10)
+        assert not skim.armed
+        skim.set(10)
+        assert skim.armed
+
+    def test_clear_resets_quality(self):
+        skim = SkimRegister(min_quality_level=2)
+        skim.set(10)
+        skim.set(10)
+        skim.clear()
+        skim.set(10)
+        assert not skim.armed
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SkimRegister(min_quality_level=0)
+
+
+class TestQualityConstrainedRuns:
+    def run_with_threshold(self, min_level):
+        workload = make_workload("MatAdd", "tiny")  # 4 planes at 8-bit
+        kernel = AnytimeKernel(workload.kernel, AnytimeConfig(mode="swv", bits=8))
+        cpu = kernel.make_cpu(workload.inputs)
+        supply = PowerSupply(
+            wifi_trace(duration_ms=3000, seed=6),
+            Capacitor(capacitance_f=0.05e-6, v_initial=3.0, v_max=3.3),
+            EnergyModel(),
+        )
+        runtime = ClankRuntime(
+            watchdog_cycles=300, skim=SkimRegister(min_quality_level=min_level)
+        )
+        result = IntermittentExecutor(cpu, supply, runtime).run(max_wall_ms=60_000)
+        assert result.completed
+        reference = workload.decoded_reference()
+        error = nrmse(reference, workload.decode(kernel.read_outputs(cpu)))
+        return result, error
+
+    def test_higher_threshold_gives_better_quality(self):
+        eager, eager_error = self.run_with_threshold(1)
+        picky, picky_error = self.run_with_threshold(3)
+        assert eager.skim_taken
+        assert picky_error <= eager_error
+        # The pickier device worked longer for its quality.
+        assert picky.active_cycles >= eager.active_cycles
+
+    def test_threshold_beyond_phases_runs_to_precise(self):
+        # MatAdd 8-bit has 3 skim points (4 planes): a threshold of 99
+        # can never be met, so the run refines to the exact result.
+        result, error = self.run_with_threshold(99)
+        assert not result.skim_taken
+        assert error < 1e-9
+
+
+class TestLivelockDetection:
+    def test_starved_clank_raises_diagnostic(self):
+        """A capacitor smaller than restore+watchdog costs can never make
+        durable progress; the executor diagnoses it instead of spinning."""
+        workload = make_workload("MatAdd", "tiny")
+        kernel = AnytimeKernel(workload.kernel)  # precise: no skim escape
+        cpu = kernel.make_cpu(workload.inputs)
+        supply = PowerSupply(
+            wifi_trace(duration_ms=3000, seed=6),
+            Capacitor(capacitance_f=0.005e-6, v_initial=3.0, v_max=3.3),
+            EnergyModel(),
+        )
+        runtime = ClankRuntime(watchdog_cycles=24_000)  # longer than a charge
+        with pytest.raises(RuntimeError, match="livelock"):
+            IntermittentExecutor(cpu, supply, runtime).run(max_wall_ms=2_000_000)

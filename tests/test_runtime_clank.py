@@ -1,0 +1,235 @@
+"""Unit and integration tests for the Clank checkpointing runtime."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.power import Capacitor, EnergyModel, PowerSupply, constant_trace, square_trace, wifi_trace
+from repro.runtime import ClankRuntime, IntermittentExecutor, NVPRuntime, SkimRegister
+from repro.sim import CPU, default_memory
+
+# Sums N input words into an accumulator in NVM. The store to the
+# accumulator is a classic read-modify-write: Clank must detect the WAR
+# violation and checkpoint before the store.
+SUM_SOURCE = """
+.equ IN, 0x100
+.equ OUT, 0x8000
+.equ N, {n}
+    MOV R0, #IN
+    MOV R1, #OUT
+    MOV R2, #0
+LOOP:
+    LSL R3, R2, #2
+    LDR R4, [R0, R3]
+    LDR R5, [R1, #0]
+    ADD R5, R5, R4
+    STR R5, [R1, #0]
+    ADD R2, R2, #1
+    CMP R2, #N
+    BLT LOOP
+    HALT
+"""
+
+
+def make_sum_cpu(n=10):
+    cpu = CPU(assemble(SUM_SOURCE.format(n=n)), default_memory())
+    cpu.memory.write_words(0x100, list(range(1, n + 1)))
+    return cpu
+
+
+class TestWarDetection:
+    def test_war_violation_triggers_checkpoint(self):
+        cpu = make_sum_cpu(n=3)
+        runtime = ClankRuntime()
+        runtime.attach(cpu)
+        cpu.run()
+        # Only the FIRST store to the accumulator violates: after the
+        # checkpoint the accumulator is written-before-read, so the rest
+        # of the loop is one idempotent region.
+        assert runtime.stats.war_violations == 1
+        assert runtime.stats.checkpoints == 1
+
+    def test_war_violates_again_after_watchdog_checkpoint(self):
+        # A watchdog checkpoint opens a new region, whose first
+        # accumulator load is again a read-before-write.
+        cpu = make_sum_cpu(n=50)
+        runtime = ClankRuntime(watchdog_cycles=100)
+        runtime.attach(cpu)
+        while not cpu.halted:
+            used = cpu.run_cycles(100)
+            runtime.on_tick(used)
+        assert runtime.stats.war_violations > 1
+
+    def test_write_before_read_is_idempotent(self):
+        # Store to an address never read first: no violation.
+        cpu = CPU(
+            assemble("MOV R0, #0x100\nMOV R1, #5\nSTR R1, [R0, #0]\nLDR R2, [R0, #0]\nHALT"),
+            default_memory(),
+        )
+        runtime = ClankRuntime()
+        runtime.attach(cpu)
+        cpu.run()
+        assert runtime.stats.war_violations == 0
+
+    def test_read_then_write_different_addresses_ok(self):
+        cpu = CPU(
+            assemble("MOV R0, #0x100\nLDR R1, [R0, #0]\nSTR R1, [R0, #4]\nHALT"),
+            default_memory(),
+        )
+        runtime = ClankRuntime()
+        runtime.attach(cpu)
+        cpu.run()
+        assert runtime.stats.war_violations == 0
+
+    def test_partial_byte_overlap_detected(self):
+        # Word load at 0x100, byte store at 0x102 overlaps the read range.
+        cpu = CPU(
+            assemble("MOV R0, #0x100\nLDR R1, [R0, #0]\nSTRB R1, [R0, #2]\nHALT"),
+            default_memory(),
+        )
+        runtime = ClankRuntime()
+        runtime.attach(cpu)
+        cpu.run()
+        assert runtime.stats.war_violations == 1
+
+    def test_checkpoint_cost_charged(self):
+        cpu = make_sum_cpu(n=1)
+        runtime = ClankRuntime(checkpoint_cycles=100)
+        runtime.attach(cpu)
+        cycles = cpu.run()
+        baseline_cpu = make_sum_cpu(n=1)
+        baseline_cycles = baseline_cpu.run()
+        assert cycles == baseline_cycles + 100
+
+
+class TestWatchdog:
+    def test_watchdog_checkpoint_fires(self):
+        cpu = CPU(assemble("LOOP: ADD R0, R0, #1\nCMP R0, #10000\nBLT LOOP\nHALT"), default_memory())
+        runtime = ClankRuntime(watchdog_cycles=1000)
+        runtime.attach(cpu)
+        # Simulate executor ticks.
+        while not cpu.halted:
+            used = cpu.run_cycles(500)
+            runtime.on_tick(used)
+        assert runtime.stats.watchdog_checkpoints > 10
+
+    def test_watchdog_resets_after_checkpoint(self):
+        runtime = ClankRuntime(watchdog_cycles=1000)
+        cpu = make_sum_cpu(1)
+        runtime.attach(cpu)
+        assert runtime.on_tick(999) == 0
+        assert runtime.on_tick(1) == runtime.checkpoint_cycles
+        assert runtime.on_tick(999) == 0  # counter was reset
+
+
+class TestRestoreSemantics:
+    def test_restore_rewinds_to_checkpoint(self):
+        cpu = make_sum_cpu(n=5)
+        runtime = ClankRuntime()
+        runtime.attach(cpu)
+        # Run a few instructions past the entry checkpoint, then crash.
+        for _ in range(4):
+            cpu.step()
+        runtime.on_outage()
+        cost = runtime.on_restore()
+        assert cost == runtime.restore_cycles
+        assert cpu.pc == 0  # back to entry checkpoint
+        assert cpu.regs[2] == 0
+
+    def test_skim_overrides_restore_pc(self):
+        cpu = CPU(assemble("SKM END\nLOOP: B LOOP\nEND: HALT"), default_memory())
+        runtime = ClankRuntime()
+        runtime.attach(cpu)
+        cpu.step()  # execute SKM: arms the register
+        assert runtime.skim.armed
+        runtime.on_outage()
+        runtime.on_restore()
+        assert cpu.pc == 2  # skim target, not checkpoint PC
+        assert not runtime.skim.armed
+
+    def test_tracking_sets_cleared_on_outage(self):
+        cpu = make_sum_cpu(n=5)
+        runtime = ClankRuntime()
+        runtime.attach(cpu)
+        for _ in range(5):
+            cpu.step()
+        runtime.on_outage()
+        assert not runtime._read_first
+        assert not runtime._written
+
+
+class TestIntermittentExecutionCorrectness:
+    """The headline property: intermittent execution with outages produces
+    exactly the same final memory as uninterrupted execution."""
+
+    def continuous_result(self, n):
+        cpu = make_sum_cpu(n)
+        cpu.run()
+        return cpu.memory.load_word(0x8000)
+
+    @pytest.mark.parametrize("trace_seed", [0, 1, 2])
+    def test_clank_matches_continuous_under_outages(self, trace_seed):
+        n = 40
+        expected = self.continuous_result(n)
+        cpu = make_sum_cpu(n)
+        supply = PowerSupply(
+            wifi_trace(duration_ms=4000, seed=trace_seed),
+            Capacitor(),
+            EnergyModel(),
+        )
+        executor = IntermittentExecutor(cpu, supply, ClankRuntime())
+        result = executor.run()
+        assert result.completed
+        assert cpu.memory.load_word(0x8000) == expected
+
+    def test_outages_actually_happened(self):
+        # Use a weak square trace so the run must span several power cycles.
+        n = 2000
+        expected = self.continuous_result(n)
+        cpu = make_sum_cpu(n)
+        supply = PowerSupply(
+            square_trace(1.5e-3, on_ms=20, off_ms=60, periods=50),
+            Capacitor(capacitance_f=0.2e-6, v_initial=3.0),
+            EnergyModel(),
+        )
+        executor = IntermittentExecutor(cpu, supply, ClankRuntime(watchdog_cycles=1000))
+        result = executor.run()
+        assert result.completed
+        assert result.outages >= 1
+        assert cpu.memory.load_word(0x8000) == expected
+
+    def test_nvp_matches_continuous_under_outages(self):
+        n = 2000
+        expected = self.continuous_result(n)
+        cpu = make_sum_cpu(n)
+        supply = PowerSupply(
+            square_trace(1.5e-3, on_ms=20, off_ms=60, periods=50),
+            Capacitor(capacitance_f=0.2e-6, v_initial=3.0),
+            EnergyModel(backup_overhead=0.2),
+        )
+        executor = IntermittentExecutor(cpu, supply, NVPRuntime())
+        result = executor.run()
+        assert result.completed
+        assert result.outages >= 1
+        assert cpu.memory.load_word(0x8000) == expected
+
+    def test_nvp_faster_than_clank_on_same_trace(self):
+        """NVP avoids re-execution, so it finishes in fewer active cycles."""
+        n = 1500
+        trace = square_trace(1.5e-3, on_ms=20, off_ms=60, periods=50)
+
+        cpu_clank = make_sum_cpu(n)
+        clank_result = IntermittentExecutor(
+            cpu_clank,
+            PowerSupply(trace, Capacitor(capacitance_f=0.2e-6, v_initial=3.0), EnergyModel()),
+            ClankRuntime(watchdog_cycles=1000),
+        ).run()
+
+        cpu_nvp = make_sum_cpu(n)
+        nvp_result = IntermittentExecutor(
+            cpu_nvp,
+            PowerSupply(trace, Capacitor(capacitance_f=0.2e-6, v_initial=3.0), EnergyModel()),
+            NVPRuntime(),
+        ).run()
+
+        assert clank_result.completed and nvp_result.completed
+        assert nvp_result.active_cycles < clank_result.active_cycles

@@ -1,0 +1,114 @@
+"""Tests for the Hibernus-style just-in-time checkpointing runtime."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.power import Capacitor, EnergyModel, PowerSupply, wifi_trace
+from repro.runtime import HibernusRuntime, IntermittentExecutor
+from repro.sim import CPU, default_memory
+
+COUNT_SOURCE = """
+.equ OUT, 0x8000
+    MOV R0, #0
+LOOP:
+    ADD R0, R0, #1
+    CMP R0, #{n}
+    BLT LOOP
+    MOV R1, #OUT
+    STR R0, [R1, #0]
+    HALT
+"""
+
+
+def make_cpu(n=20000):
+    return CPU(assemble(COUNT_SOURCE.format(n=n)), default_memory())
+
+
+def small_supply(seed=0):
+    return PowerSupply(
+        wifi_trace(duration_ms=4000, seed=seed),
+        Capacitor(capacitance_f=0.05e-6, v_initial=3.0, v_max=3.3),
+        EnergyModel(),
+    )
+
+
+class TestSnapshotSemantics:
+    def test_low_voltage_snapshots_once_per_cycle(self):
+        cpu = make_cpu()
+        runtime = HibernusRuntime()
+        runtime.attach(cpu)
+        for _ in range(10):
+            cpu.step()
+        cost = runtime.on_low_voltage()
+        assert cost == runtime.snapshot_cycles
+        assert runtime.on_low_voltage() == 0  # armed: no second snapshot
+        runtime.on_outage()
+        cost = runtime.on_low_voltage()
+        assert cost == runtime.snapshot_cycles  # re-armed after the outage
+
+    def test_restore_resumes_at_snapshot(self):
+        cpu = make_cpu()
+        runtime = HibernusRuntime()
+        runtime.attach(cpu)
+        for _ in range(10):
+            cpu.step()
+        runtime.on_low_voltage()
+        snapshot_pc = cpu.pc
+        snapshot_r0 = cpu.regs[0]
+        for _ in range(5):
+            cpu.step()  # progress past the snapshot, then crash
+        runtime.on_outage()
+        runtime.on_restore()
+        assert cpu.pc == snapshot_pc
+        assert cpu.regs[0] == snapshot_r0
+
+    def test_skim_overrides_restore(self):
+        cpu = CPU(assemble("SKM END\nLOOP: B LOOP\nEND: HALT"), default_memory())
+        runtime = HibernusRuntime()
+        runtime.attach(cpu)
+        cpu.step()
+        runtime.on_outage()
+        runtime.on_restore()
+        assert cpu.pc == 2
+
+
+class TestHibernusUnderIntermittency:
+    def test_completes_and_matches_continuous(self):
+        n = 20000
+        reference_cpu = make_cpu(n)
+        reference_cpu.run()
+        expected = reference_cpu.memory.load_word(0x8000)
+
+        cpu = make_cpu(n)
+        result = IntermittentExecutor(cpu, small_supply(), HibernusRuntime()).run()
+        assert result.completed
+        assert result.outages >= 1
+        assert cpu.memory.load_word(0x8000) == expected
+
+    def test_one_snapshot_per_power_cycle(self):
+        cpu = make_cpu(40000)
+        runtime = HibernusRuntime()
+        result = IntermittentExecutor(cpu, small_supply(seed=2), runtime).run()
+        assert result.completed
+        # At most one snapshot per outage (plus none on the final cycle
+        # if the program halts before the low-voltage trigger).
+        assert runtime.stats.checkpoints <= result.outages + 1
+        assert runtime.stats.checkpoints >= 1
+
+    def test_snapshot_bounds_reexecution(self):
+        """JIT snapshots lose almost nothing at an outage: the total
+        executed cycles stay close to the continuous runtime plus the
+        snapshot/restore overheads."""
+        n = 40000
+        continuous = make_cpu(n)
+        continuous_cycles = continuous.run()
+
+        cpu = make_cpu(n)
+        runtime = HibernusRuntime()
+        result = IntermittentExecutor(cpu, small_supply(seed=3), runtime).run()
+        assert result.completed
+        overhead = (
+            runtime.stats.checkpoint_cycles + runtime.stats.restore_cycles
+        )
+        # Allow a small slack for cycles cut short at tick boundaries.
+        assert result.active_cycles <= continuous_cycles + overhead + 2000

@@ -1,0 +1,149 @@
+"""Tests for skim-point semantics and the executor's skim handling."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.power import Capacitor, EnergyModel, PowerSupply, constant_trace, square_trace
+from repro.runtime import (
+    ClankRuntime,
+    IntermittentExecutor,
+    NVPRuntime,
+    SkimRegister,
+)
+from repro.sim import CPU, default_memory
+
+
+class TestSkimRegister:
+    def test_initially_disarmed(self):
+        skim = SkimRegister()
+        assert not skim.armed
+        assert skim.peek() is None
+
+    def test_set_and_consume(self):
+        skim = SkimRegister()
+        skim.set(42)
+        assert skim.armed
+        assert skim.peek() == 42
+        assert skim.consume() == 42
+        assert not skim.armed
+
+    def test_consume_unarmed_raises(self):
+        with pytest.raises(RuntimeError):
+            SkimRegister().consume()
+
+    def test_reset_overwrites(self):
+        skim = SkimRegister()
+        skim.set(1)
+        skim.set(2)
+        assert skim.consume() == 2
+        assert skim.set_count == 2
+        assert skim.taken_count == 1
+
+    def test_clear(self):
+        skim = SkimRegister()
+        skim.set(7)
+        skim.clear()
+        assert not skim.armed
+        assert skim.taken_count == 0
+
+
+# A program shaped like the paper's Listing 2: a long MSb phase that
+# arms a skim point, then a long LSb refinement phase. OUT records how
+# far we got: 1 after the MSb phase, 2 after the LSb phase.
+TWO_PHASE_SOURCE = """
+.equ OUT, 0x200
+    MOV R6, #0
+PHASE1:
+    ADD R6, R6, #1
+    CMP R6, #{phase_cycles}
+    BLT PHASE1
+    MOV R5, #1
+    MOV R4, #OUT
+    STR R5, [R4, #0]
+    SKM END
+    MOV R6, #0
+PHASE2:
+    ADD R6, R6, #1
+    CMP R6, #{phase_cycles}
+    BLT PHASE2
+    MOV R5, #2
+    STR R5, [R4, #0]
+END:
+    HALT
+"""
+
+
+def two_phase_cpu(phase_cycles=2000):
+    cpu = CPU(assemble(TWO_PHASE_SOURCE.format(phase_cycles=phase_cycles)), default_memory())
+    return cpu
+
+
+class TestSkimUnderIntermittency:
+    def test_ample_power_reaches_precise_result(self):
+        """With no outage after the skim point, the program refines to
+        the precise result (skim point is never taken)."""
+        cpu = two_phase_cpu()
+        supply = PowerSupply(constant_trace(50e-3, 100_000), Capacitor(), EnergyModel())
+        result = IntermittentExecutor(cpu, supply, ClankRuntime()).run()
+        assert result.completed
+        assert not result.skim_taken
+        assert cpu.memory.load_word(0x200) == 2
+
+    @pytest.mark.parametrize("runtime_cls", [ClankRuntime, NVPRuntime])
+    def test_outage_after_skim_accepts_approximate_result(self, runtime_cls):
+        """An outage with the register armed skips the refinement phase:
+        the approximate (phase-1) output is accepted as-is."""
+        # Tiny on-periods: the device dies between the phases.
+        cpu = two_phase_cpu(phase_cycles=120_000)
+        supply = PowerSupply(
+            square_trace(1.2e-3, on_ms=15, off_ms=120, periods=50),
+            Capacitor(v_initial=3.0),
+            EnergyModel(),
+        )
+        result = IntermittentExecutor(cpu, supply, runtime_cls()).run()
+        assert result.completed
+        assert result.skim_taken
+        assert cpu.memory.load_word(0x200) == 1  # approximate output
+
+    def test_skim_gives_forward_progress_speedup(self):
+        """Accepting the approximate result finishes much earlier than
+        refining to the precise result on the same weak supply."""
+        trace = square_trace(1.2e-3, on_ms=15, off_ms=120, periods=50)
+
+        skim_cpu = two_phase_cpu(phase_cycles=120_000)
+        skim_result = IntermittentExecutor(
+            skim_cpu,
+            PowerSupply(trace, Capacitor(v_initial=3.0), EnergyModel()),
+            NVPRuntime(),
+        ).run()
+
+        precise_source = TWO_PHASE_SOURCE.replace("SKM END\n", "")
+        precise_cpu = CPU(
+            assemble(precise_source.format(phase_cycles=120_000)), default_memory()
+        )
+        precise_result = IntermittentExecutor(
+            precise_cpu,
+            PowerSupply(trace, Capacitor(v_initial=3.0), EnergyModel()),
+            NVPRuntime(),
+        ).run()
+
+        assert skim_result.completed and precise_result.completed
+        assert skim_result.skim_taken
+        assert precise_cpu.memory.load_word(0x200) == 2
+        assert skim_result.wall_ms < precise_result.wall_ms / 1.5
+
+    def test_executor_result_bookkeeping(self):
+        cpu = two_phase_cpu(phase_cycles=500)
+        supply = PowerSupply(constant_trace(50e-3, 100_000), Capacitor(), EnergyModel())
+        result = IntermittentExecutor(cpu, supply, ClankRuntime()).run()
+        assert result.on_ms > 0
+        assert result.active_cycles > 0
+        assert result.wall_ms == result.on_ms + result.off_ms
+        assert result.wall_seconds == pytest.approx(result.wall_ms / 1000)
+
+    def test_timeout_reported(self):
+        cpu = CPU(assemble("LOOP: B LOOP"), default_memory())
+        supply = PowerSupply(constant_trace(50e-3, 100_000), Capacitor(), EnergyModel())
+        result = IntermittentExecutor(cpu, supply, NVPRuntime()).run(max_wall_ms=50)
+        assert result.timed_out
+        assert not result.completed

@@ -1,0 +1,177 @@
+"""Tests for the signed fixed-point extension.
+
+The paper's kernels avoid signedness by converting to non-negative
+fixed point. This library extends SWP to two's-complement operands: a
+signed array's loads sign-extend, and the most significant subword
+phase multiplies with the signed ``MUL_ASPS<B>`` variant, so the
+two's-complement decomposition
+``A = sext(top) * 2^k + sum(unsigned lower subwords)`` stays exactly
+distributive mod 2^32.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    Array,
+    BinOp,
+    Kernel,
+    Load,
+    Loop,
+    MulAsp,
+    Pragma,
+    Store,
+    SubwordLoad,
+    Var,
+    apply_swp,
+    compile_kernel,
+    evaluate,
+)
+from repro.isa import assemble, to_signed
+from repro.sim import CPU, Multiplier, default_memory
+
+N = 8
+
+
+def signed_dot_kernel(bits=8):
+    return Kernel(
+        "sdot",
+        {
+            "A": Array("A", N, 16, "input", pragma=Pragma("asp", bits), signed=True),
+            "F": Array("F", N, 16, "input", signed=True),
+            "X": Array("X", N, 32, "output", signed=True),
+        },
+        [Loop("i", 0, N, [
+            Store("X", Var("i"),
+                  BinOp("*", Load("F", Var("i")), Load("A", Var("i"))),
+                  accumulate=True)
+        ])],
+    )
+
+
+class TestSignedIsa:
+    def test_mul_asps_assembles(self):
+        program = assemble("MUL_ASPS8 R0, R1, #1\nHALT")
+        assert program[0].op == "MUL_ASPS8"
+        assert program[0].size_bytes == 4
+
+    def test_mul_asps_semantics(self):
+        cpu = CPU(assemble("MUL_ASPS4 R0, R1, #2\nHALT"), default_memory())
+        cpu.regs[0] = 100
+        cpu.regs[1] = (-3) & 0xFFFFFFFF  # sign-extended subword
+        cpu.run()
+        assert to_signed(cpu.regs[0]) == (100 * -3) << 8
+
+    def test_mul_asps_cycle_cost(self):
+        cpu = CPU(assemble("MOV R0, #5\nMOV R1, #3\nMUL_ASPS8 R0, R1, #0\nHALT"),
+                  default_memory())
+        assert cpu.run() == 1 + 1 + 8 + 1
+
+    def test_multiplier_signed_path(self):
+        mul = Multiplier()
+        result, cycles = mul.mul_asp_signed(7, (-2) & 0xFFFFFFFF, width=8, position=1)
+        assert to_signed(result) == (7 * -2) << 8
+        assert cycles == 8
+
+
+class TestSignedIr:
+    def test_signed_load_sign_extends(self):
+        kernel = Kernel(
+            "k",
+            {"A": Array("A", 1, 16, "input", signed=True),
+             "X": Array("X", 1, 32, "output")},
+            [Store("X", _c(0), Load("A", _c(0)))],
+        )
+        out = evaluate(kernel, {"A": [(-5) & 0xFFFF]})
+        assert to_signed(out["X"][0]) == -5
+
+    def test_signed_subword_load(self):
+        kernel = Kernel(
+            "k",
+            {"A": Array("A", 1, 16, "input", signed=True),
+             "X": Array("X", 1, 32, "output")},
+            [Store("X", _c(0), SubwordLoad("A", _c(0), 8, 8, signed=True))],
+        )
+        out = evaluate(kernel, {"A": [0x8034]})
+        assert to_signed(out["X"][0]) == to_signed(0x80, 8)
+
+    def test_signed_mulasp(self):
+        kernel = Kernel(
+            "k",
+            {"X": Array("X", 1, 32, "output")},
+            [Store("X", _c(0), MulAsp(_c(9), _c((-4) & 0xFFFFFFFF), 8, 8, signed_sub=True))],
+        )
+        out = evaluate(kernel, {})
+        assert to_signed(out["X"][0]) == (9 * -4) << 8
+
+
+def _c(value):
+    from repro.compiler import Const
+
+    return Const(value)
+
+
+class TestSignedSwp:
+    def test_pass_marks_top_phase_signed(self):
+        transformed = apply_swp(signed_dot_kernel(8))
+        loops = [s for s in transformed.body if hasattr(s, "var")]
+        from repro.compiler.ir import walk_exprs
+
+        def muls(loop):
+            result = []
+            for stmt in loop.body:
+                for node in walk_exprs(stmt.expr):
+                    if isinstance(node, MulAsp):
+                        result.append(node)
+            return result
+
+        top = muls(loops[0])
+        low = muls(loops[1])
+        assert top and all(m.signed_sub for m in top)
+        assert low and not any(m.signed_sub for m in low)
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 8])
+    def test_signed_convergence_on_hardware(self, bits):
+        a = [-30000, -1, 255, -4096, 32767, -32768, 7, 0]
+        f = [3, -5, -7, 9, -1, 2, -32768, 5]
+        inputs = {"A": [v & 0xFFFF for v in a], "F": [v & 0xFFFF for v in f]}
+        expected = [(x * y) & 0xFFFFFFFF for x, y in zip(a, f)]
+        compiled = compile_kernel(apply_swp(signed_dot_kernel(bits)))
+        cpu = compiled.make_cpu(inputs)
+        cpu.run()
+        assert compiled.read_array(cpu.memory, "X") == expected
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(st.integers(-32768, 32767), min_size=N, max_size=N),
+        st.lists(st.integers(-32768, 32767), min_size=N, max_size=N),
+        st.sampled_from([2, 4, 8]),
+    )
+    def test_signed_distributivity_property(self, a, f, bits):
+        inputs = {"A": [v & 0xFFFF for v in a], "F": [v & 0xFFFF for v in f]}
+        expected = [(x * y) & 0xFFFFFFFF for x, y in zip(a, f)]
+        transformed = apply_swp(signed_dot_kernel(bits))
+        assert evaluate(transformed, inputs)["X"] == expected
+
+    def test_msb_phase_is_signed_approximation(self):
+        """Stopping after the signed top phase gives a correctly-signed
+        approximation (the headline anytime property for signed data)."""
+        a = [-32000, 31000, -512, 16000, -9, 300, -20000, 1]
+        f = [100, -100, 50, -50, 25, -25, 10, -10]
+        inputs = {"A": [v & 0xFFFF for v in a], "F": [v & 0xFFFF for v in f]}
+        compiled = compile_kernel(apply_swp(signed_dot_kernel(8)))
+        cpu = compiled.make_cpu(inputs)
+
+        def cut(target, cpu=cpu):
+            cpu.halted = True
+
+        cpu.skim_hook = cut
+        cpu.run()
+        approx = [to_signed(v) for v in compiled.read_array(cpu.memory, "X")]
+        for got, (x, y) in zip(approx, zip(a, f)):
+            exact = x * y
+            if exact == 0:
+                continue
+            # Same sign and within the dropped-subword bound.
+            assert got == 0 or (got < 0) == (exact < 0), (got, exact)
+            assert abs(got - exact) <= abs(y) * 256, (got, exact)

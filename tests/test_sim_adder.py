@@ -1,0 +1,137 @@
+"""Unit and property tests for the subword-vectorized adder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import NUM_MUXES, SubwordAdder
+from repro.sim.adder import MUX_POSITIONS
+
+MASK32 = 0xFFFFFFFF
+u32 = st.integers(0, MASK32)
+
+
+class TestFullWidthAdd:
+    def test_simple_add(self):
+        adder = SubwordAdder()
+        result, carry, overflow = adder.add32(2, 3)
+        assert (result, carry, overflow) == (5, False, False)
+
+    def test_carry_out(self):
+        adder = SubwordAdder()
+        result, carry, _ = adder.add32(MASK32, 1)
+        assert result == 0
+        assert carry is True
+
+    def test_signed_overflow(self):
+        adder = SubwordAdder()
+        _, _, overflow = adder.add32(0x7FFFFFFF, 1)
+        assert overflow is True
+
+    def test_subtract(self):
+        adder = SubwordAdder()
+        result, carry, overflow = adder.sub32(10, 3)
+        assert result == 7
+        assert carry is True  # no borrow
+        assert overflow is False
+
+    def test_subtract_borrow(self):
+        adder = SubwordAdder()
+        result, carry, _ = adder.sub32(3, 10)
+        assert result == (3 - 10) & MASK32
+        assert carry is False  # borrow occurred
+
+    @given(u32, u32)
+    def test_add_matches_modular_arithmetic(self, a, b):
+        adder = SubwordAdder()
+        result, carry, _ = adder.add32(a, b)
+        assert result == (a + b) & MASK32
+        assert carry == (a + b > MASK32)
+
+    @given(u32, u32)
+    def test_sub_matches_modular_arithmetic(self, a, b):
+        adder = SubwordAdder()
+        result, _, _ = adder.sub32(a, b)
+        assert result == (a - b) & MASK32
+
+
+class TestVectorAdd:
+    def test_lanes_independent_8bit(self):
+        adder = SubwordAdder()
+        # 0xFF + 0x01 in lane 0 must not carry into lane 1.
+        result = adder.add_vector(0x000000FF, 0x00000001, 8)
+        assert result == 0x00000000
+
+    def test_four_parallel_8bit_adds(self):
+        adder = SubwordAdder()
+        a = 0x01020304
+        b = 0x10203040
+        assert adder.add_vector(a, b, 8) == 0x11223344
+
+    def test_eight_parallel_4bit_adds(self):
+        adder = SubwordAdder()
+        a = 0x11111111
+        b = 0x22222222
+        assert adder.add_vector(a, b, 4) == 0x33333333
+
+    def test_4bit_lane_wraps(self):
+        adder = SubwordAdder()
+        assert adder.add_vector(0x0000000F, 0x00000001, 4) == 0
+
+    def test_two_parallel_16bit_adds(self):
+        adder = SubwordAdder()
+        assert adder.add_vector(0x0001FFFF, 0x00010001, 16) == 0x00020000
+
+    def test_vector_sub(self):
+        adder = SubwordAdder()
+        assert adder.sub_vector(0x05050505, 0x01010101, 8) == 0x04040404
+
+    def test_vector_sub_wraps_per_lane(self):
+        adder = SubwordAdder()
+        assert adder.sub_vector(0x00000000, 0x00000001, 8) == 0x000000FF
+
+    def test_unsupported_lane_width_rejected(self):
+        adder = SubwordAdder()
+        with pytest.raises(ValueError):
+            adder.add_vector(1, 2, 5)
+        with pytest.raises(ValueError):
+            adder.add_vector(1, 2, 32)
+
+    @given(u32, u32, st.sampled_from([4, 8, 16]))
+    def test_vector_add_equals_per_lane_scalar_add(self, a, b, lane):
+        adder = SubwordAdder()
+        result = adder.add_vector(a, b, lane)
+        mask = (1 << lane) - 1
+        for shift in range(0, 32, lane):
+            expected = (((a >> shift) & mask) + ((b >> shift) & mask)) & mask
+            assert (result >> shift) & mask == expected
+
+    @given(u32, u32, st.sampled_from([4, 8, 16]))
+    def test_vector_sub_equals_per_lane_scalar_sub(self, a, b, lane):
+        adder = SubwordAdder()
+        result = adder.sub_vector(a, b, lane)
+        mask = (1 << lane) - 1
+        for shift in range(0, 32, lane):
+            expected = (((a >> shift) & mask) - ((b >> shift) & mask)) & mask
+            assert (result >> shift) & mask == expected
+
+    @given(u32, u32)
+    def test_vector_add_commutative(self, a, b):
+        adder = SubwordAdder()
+        assert adder.add_vector(a, b, 8) == adder.add_vector(b, a, 8)
+
+
+class TestLaneHelpers:
+    def test_lanes_split(self):
+        adder = SubwordAdder()
+        assert adder.lanes(0x11223344, 8) == [0x44, 0x33, 0x22, 0x11]
+
+    @given(u32, st.sampled_from([4, 8, 16]))
+    def test_lanes_pack_roundtrip(self, value, lane):
+        adder = SubwordAdder()
+        assert SubwordAdder.pack_lanes(adder.lanes(value, lane), lane) == value
+
+
+class TestHardwareModel:
+    def test_mux_every_four_bits(self):
+        assert MUX_POSITIONS == (4, 8, 12, 16, 20, 24, 28)
+        assert NUM_MUXES == 7

@@ -1,0 +1,130 @@
+"""Unit and property tests for the memory model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import (
+    Memory,
+    MemoryError_,
+    NVM_BASE,
+    Region,
+    SRAM_BASE,
+    default_memory,
+    word_range,
+)
+
+
+class TestScalarAccess:
+    def test_word_roundtrip(self):
+        mem = default_memory()
+        mem.store_word(0x100, 0xDEADBEEF)
+        assert mem.load_word(0x100) == 0xDEADBEEF
+
+    def test_word_is_little_endian(self):
+        mem = default_memory()
+        mem.store_word(0x100, 0x11223344)
+        assert mem.load_byte(0x100) == 0x44
+        assert mem.load_byte(0x103) == 0x11
+
+    def test_half_roundtrip(self):
+        mem = default_memory()
+        mem.store_half(0x10, 0xBEEF)
+        assert mem.load_half(0x10) == 0xBEEF
+
+    def test_byte_roundtrip(self):
+        mem = default_memory()
+        mem.store_byte(0x10, 0xAB)
+        assert mem.load_byte(0x10) == 0xAB
+
+    def test_store_masks_to_width(self):
+        mem = default_memory()
+        mem.store_byte(0x10, 0x1FF)
+        assert mem.load_byte(0x10) == 0xFF
+        mem.store_half(0x20, 0x1FFFF)
+        assert mem.load_half(0x20) == 0xFFFF
+
+    def test_unmapped_access_raises(self):
+        mem = default_memory()
+        with pytest.raises(MemoryError_):
+            mem.load_word(0x5000_0000)
+
+    def test_access_straddling_region_end_raises(self):
+        mem = Memory([Region("tiny", 0, 8, volatile=False)])
+        with pytest.raises(MemoryError_):
+            mem.load_word(6)
+
+
+class TestBulkAccess:
+    def test_words_roundtrip(self):
+        mem = default_memory()
+        values = [1, 2, 3, 0xFFFFFFFF]
+        mem.write_words(0x200, values)
+        assert mem.read_words(0x200, 4) == values
+
+    def test_halves_roundtrip(self):
+        mem = default_memory()
+        values = [10, 20, 0xFFFF]
+        mem.write_halves(0x300, values)
+        assert mem.read_halves(0x300, 3) == values
+
+    def test_bytes_roundtrip(self):
+        mem = default_memory()
+        mem.write_bytes(0x400, b"hello")
+        assert mem.read_bytes(0x400, 5) == b"hello"
+
+    def test_word_range(self):
+        assert word_range(0x100, 4) == (0x100, 0x110)
+
+
+class TestVolatility:
+    def test_sram_cleared_on_power_loss(self):
+        mem = default_memory()
+        mem.store_word(SRAM_BASE + 0x10, 1234)
+        mem.power_loss()
+        assert mem.load_word(SRAM_BASE + 0x10) == 0
+
+    def test_nvm_survives_power_loss(self):
+        mem = default_memory()
+        mem.store_word(NVM_BASE + 0x10, 1234)
+        mem.power_loss()
+        assert mem.load_word(NVM_BASE + 0x10) == 1234
+
+    def test_is_nonvolatile(self):
+        mem = default_memory()
+        assert mem.is_nonvolatile(NVM_BASE + 4)
+        assert not mem.is_nonvolatile(SRAM_BASE + 4)
+
+    def test_volatile_snapshot_roundtrip(self):
+        mem = default_memory()
+        mem.store_word(SRAM_BASE, 42)
+        snap = mem.snapshot_volatile()
+        mem.power_loss()
+        assert mem.load_word(SRAM_BASE) == 0
+        mem.restore_volatile(snap)
+        assert mem.load_word(SRAM_BASE) == 42
+
+    def test_region_lookup_by_name(self):
+        mem = default_memory()
+        assert mem.region("nvm").volatile is False
+        assert mem.region("sram").volatile is True
+
+
+class TestMemoryProperties:
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 1000))
+    def test_word_roundtrip_property(self, value, offset):
+        mem = default_memory()
+        addr = NVM_BASE + offset * 4
+        mem.store_word(addr, value)
+        assert mem.load_word(addr) == value
+
+    @given(st.binary(min_size=0, max_size=256), st.integers(0, 100))
+    def test_bytes_roundtrip_property(self, data, offset):
+        mem = default_memory()
+        mem.write_bytes(offset, data)
+        assert mem.read_bytes(offset, len(data)) == data
+
+    @given(st.lists(st.integers(0, 0xFFFF), max_size=64))
+    def test_halves_roundtrip_property(self, values):
+        mem = default_memory()
+        mem.write_halves(0x1000, values)
+        assert mem.read_halves(0x1000, len(values)) == values

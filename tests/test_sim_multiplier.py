@@ -1,0 +1,169 @@
+"""Unit and property tests for the anytime multiplier."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import MemoTable, Multiplier
+
+MASK32 = 0xFFFFFFFF
+
+
+class TestFullMultiply:
+    def test_product(self):
+        mul = Multiplier()
+        result, cycles = mul.mul(123, 456)
+        assert result == 123 * 456
+        assert cycles == 16
+
+    def test_wraps_mod_2_32(self):
+        mul = Multiplier()
+        result, _ = mul.mul(0xFFFF, 0xFFFF0)
+        assert result == (0xFFFF * 0xFFFF0) & MASK32
+
+    def test_stats_accumulate(self):
+        mul = Multiplier()
+        mul.mul(2, 3)
+        mul.mul(4, 5)
+        assert mul.mul_count == 2
+        assert mul.total_mul_cycles == 32
+        mul.reset_stats()
+        assert mul.mul_count == 0
+
+
+class TestAnytimeSubwordMultiply:
+    def test_single_subword(self):
+        mul = Multiplier()
+        result, cycles = mul.mul_asp(100, 0x12, width=8, position=0)
+        assert result == 100 * 0x12
+        assert cycles == 8
+
+    def test_position_shifts_partial_product(self):
+        mul = Multiplier()
+        result, _ = mul.mul_asp(100, 0x12, width=8, position=1)
+        assert result == (100 * 0x12) << 8
+
+    def test_subword_masked_to_width(self):
+        mul = Multiplier()
+        result, _ = mul.mul_asp(10, 0x1FF, width=8, position=0)
+        assert result == 10 * 0xFF
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 8])
+    def test_cycle_cost_equals_width(self, width):
+        mul = Multiplier()
+        _, cycles = mul.mul_asp(7, 1, width=width, position=0)
+        assert cycles == width
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Multiplier().mul_asp(1, 1, width=0, position=0)
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_subword_accumulation_reconstructs_full_product(self, a, b):
+        """Distributivity: summing shifted subword products == full product."""
+        mul = Multiplier()
+        for width in (1, 2, 4, 8):
+            total = 0
+            for pos in range(16 // width):
+                sub = (b >> (width * pos)) & ((1 << width) - 1)
+                partial, _ = mul.mul_asp(a, sub, width=width, position=pos)
+                total = (total + partial) & MASK32
+            assert total == (a * b) & MASK32
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_msb_first_partial_sums_converge(self, a, b):
+        """Processing most significant subwords first converges monotonically
+        in the sense that each prefix is a lower bound of the full product."""
+        mul = Multiplier()
+        width = 4
+        total = 0
+        previous_error = (a * b) & MASK32
+        for pos in reversed(range(16 // width)):
+            sub = (b >> (width * pos)) & ((1 << width) - 1)
+            partial, _ = mul.mul_asp(a, sub, width=width, position=pos)
+            total = (total + partial) & MASK32
+            error = abs((a * b) - total)
+            assert error <= previous_error
+            previous_error = error
+        assert total == (a * b) & MASK32
+
+
+class TestZeroSkipping:
+    def test_zero_operand_short_circuits(self):
+        mul = Multiplier(zero_skipping=True)
+        result, cycles = mul.mul(0, 999)
+        assert result == 0
+        assert cycles == 1
+        result, cycles = mul.mul(999, 0)
+        assert cycles == 1
+
+    def test_disabled_by_default(self):
+        mul = Multiplier()
+        _, cycles = mul.mul(0, 999)
+        assert cycles == 16
+
+    def test_applies_to_subword_multiply(self):
+        mul = Multiplier(zero_skipping=True)
+        _, cycles = mul.mul_asp(5, 0, width=8, position=1)
+        assert cycles == 1
+
+
+class TestMemoization:
+    def test_hit_after_insert(self):
+        mul = Multiplier(memo_table=MemoTable())
+        r1, c1 = mul.mul(123, 45)
+        r2, c2 = mul.mul(123, 45)
+        assert r1 == r2 == 123 * 45
+        assert c1 == 16
+        assert c2 == 1
+
+    def test_memo_never_changes_results(self):
+        mul = Multiplier(memo_table=MemoTable())
+        plain = Multiplier()
+        pairs = [(3, 9), (3, 9), (7, 7), (3, 9), (12, 300), (7, 7)]
+        for a, b in pairs:
+            assert mul.mul(a, b)[0] == plain.mul(a, b)[0]
+
+    def test_memo_applies_shift_after_lookup(self):
+        mul = Multiplier(memo_table=MemoTable())
+        mul.mul_asp(10, 3, width=8, position=0)
+        result, cycles = mul.mul_asp(10, 3, width=8, position=1)
+        assert result == (10 * 3) << 8
+        assert cycles == 1
+
+    def test_zero_products_not_inserted(self):
+        table = MemoTable()
+        mul = Multiplier(memo_table=table)
+        mul.mul(0, 5)
+        assert table.lookup(0, 5) is None
+
+    def test_conflicting_entries_evict(self):
+        table = MemoTable(entries=16)
+        mul = Multiplier(memo_table=table)
+        # Same low bits, different tags -> same set, eviction.
+        mul.mul(4, 4)
+        mul.mul(8, 8)
+        _, cycles = mul.mul(4, 4)
+        assert cycles == 16  # evicted, recomputed correctly
+
+    def test_hit_rate(self):
+        table = MemoTable()
+        mul = Multiplier(memo_table=table)
+        mul.mul(9, 9)
+        mul.mul(9, 9)
+        mul.mul(9, 9)
+        assert table.hits == 2
+        assert table.misses == 1
+        assert table.hit_rate == pytest.approx(2 / 3)
+
+    def test_entries_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            MemoTable(entries=10)
+        with pytest.raises(ValueError):
+            MemoTable(entries=0)
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 255)), max_size=50))
+    def test_memoized_results_match_plain_property(self, pairs):
+        memo = Multiplier(memo_table=MemoTable(), zero_skipping=True)
+        plain = Multiplier()
+        for a, b in pairs:
+            assert memo.mul(a, b)[0] == plain.mul(a, b)[0]

@@ -1,0 +1,127 @@
+"""Tests for the memory-mapped sensor FIFO peripheral."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.power import Capacitor, EnergyModel, PowerSupply, wifi_trace
+from repro.runtime import ClankRuntime, IntermittentExecutor, NVPRuntime
+from repro.sim import CPU, SENSOR_BASE, SensorFIFO, attach_sensor, default_memory
+
+# Drains N samples from the FIFO into a running sum in NVM.
+DRAIN_SOURCE = """
+.equ SENSOR, 0x40000000
+.equ OUT, 0x8000
+.equ N, {n}
+    MOV R0, #SENSOR
+    MOV R1, #OUT
+    MOV R2, #0      @ drained count
+    MOV R3, #0      @ sum
+POLL:
+    LDR R4, [R0, #4]    @ STATUS
+    CMP R4, #0
+    BEQ POLL
+    LDR R4, [R0, #0]    @ DATA (destructive pop)
+    ADD R3, R3, R4
+    STR R3, [R1, #0]
+    ADD R2, R2, #1
+    CMP R2, #N
+    BLT POLL
+    HALT
+"""
+
+
+class TestSensorFifo:
+    def test_push_pop_order(self):
+        sensor = SensorFIFO()
+        sensor.push_many([10, 20, 30])
+        assert sensor.available == 3
+        assert sensor.read(0x0, 4) == 10
+        assert sensor.read(0x0, 4) == 20
+        assert sensor.available == 1
+
+    def test_empty_reads_zero(self):
+        sensor = SensorFIFO()
+        assert sensor.read(0x0, 4) == 0
+
+    def test_status_and_dropped_registers(self):
+        sensor = SensorFIFO(capacity=2)
+        sensor.push_many([1, 2, 3, 4])
+        assert sensor.read(0x4, 4) == 2
+        assert sensor.read(0x8, 4) == 2
+        assert sensor.dropped == 2
+
+    def test_writes_ignored(self):
+        sensor = SensorFIFO()
+        sensor.write(0x0, 4, 99)
+        assert sensor.available == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SensorFIFO(capacity=0)
+
+    def test_mmio_mapping(self):
+        memory = default_memory()
+        sensor = SensorFIFO()
+        attach_sensor(memory, sensor)
+        sensor.push(42)
+        assert memory.load_word(SENSOR_BASE + 4) == 1
+        assert memory.load_word(SENSOR_BASE) == 42
+        assert memory.load_word(SENSOR_BASE) == 0
+
+    def test_fifo_survives_power_loss(self):
+        memory = default_memory()
+        sensor = SensorFIFO()
+        attach_sensor(memory, sensor)
+        sensor.push(7)
+        memory.power_loss()
+        assert memory.load_word(SENSOR_BASE) == 7
+
+
+class TestFirmwareDrain:
+    def drain_cpu(self, samples):
+        memory = default_memory()
+        sensor = SensorFIFO(capacity=len(samples) + 1)
+        attach_sensor(memory, sensor)
+        sensor.push_many(samples)
+        cpu = CPU(assemble(DRAIN_SOURCE.format(n=len(samples))), memory)
+        return cpu, sensor
+
+    def test_continuous_drain_sums_all(self):
+        samples = [5, 10, 15, 20]
+        cpu, sensor = self.drain_cpu(samples)
+        cpu.run()
+        assert cpu.memory.load_word(0x8000) == sum(samples)
+        assert sensor.available == 0
+
+    def test_nvp_drain_is_outage_safe(self):
+        """Backup-every-cycle never replays, so destructive reads are safe."""
+        samples = list(range(1, 41))
+        cpu, sensor = self.drain_cpu(samples)
+        supply = PowerSupply(
+            wifi_trace(duration_ms=3000, seed=5),
+            Capacitor(capacitance_f=0.02e-6, v_initial=3.0, v_max=3.3),
+            EnergyModel(),
+        )
+        result = IntermittentExecutor(cpu, supply, NVPRuntime()).run()
+        assert result.completed
+        assert result.outages >= 1
+        assert cpu.memory.load_word(0x8000) == sum(samples)
+
+    def test_clank_drain_exhibits_replay_hazard(self):
+        """A checkpoint-and-replay runtime re-pops samples after
+        restores: the classic peripheral hazard (drain into NVM inside
+        a transaction to avoid it). The test documents the hazard by
+        observing extra DATA reads."""
+        samples = list(range(1, 41))
+        cpu, sensor = self.drain_cpu(samples)
+        supply = PowerSupply(
+            wifi_trace(duration_ms=3000, seed=5),
+            Capacitor(capacitance_f=0.02e-6, v_initial=3.0, v_max=3.3),
+            EnergyModel(),
+        )
+        result = IntermittentExecutor(
+            cpu, supply, ClankRuntime(watchdog_cycles=300)
+        ).run(max_wall_ms=200_000)
+        if result.completed and result.outages > 0:
+            # Replays popped more samples than the firmware consumed.
+            assert sensor.reads >= len(samples)

@@ -1,0 +1,103 @@
+"""Tests for the execution tracer, cycle profiler and disassembler."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim import CPU, CycleProfiler, ExecutionTracer, default_memory, disassemble
+
+SOURCE = """
+    MOV R0, #0
+LOOP:
+    ADD R0, R0, #1
+    MUL R0, R0
+    CMP R0, #100
+    BLT LOOP
+    HALT
+"""
+
+
+def fresh_cpu():
+    return CPU(assemble(SOURCE), default_memory())
+
+
+class TestTracer:
+    def test_records_retired_instructions(self):
+        cpu = fresh_cpu()
+        tracer = ExecutionTracer(cpu, capacity=1000)
+        cpu.run()
+        assert len(tracer.entries) == cpu.stats.instructions
+        first_cycle, first_pc, first_text, first_cost = tracer.entries[0]
+        assert first_pc == 0
+        assert "MOV" in first_text
+        assert first_cost == 1
+
+    def test_ring_is_bounded(self):
+        cpu = fresh_cpu()
+        tracer = ExecutionTracer(cpu, capacity=5)
+        cpu.run()
+        assert len(tracer.entries) == 5
+        assert "HALT" in tracer.entries[-1][2]
+
+    def test_render_contains_columns(self):
+        cpu = fresh_cpu()
+        tracer = ExecutionTracer(cpu)
+        cpu.run()
+        text = tracer.render(last=3)
+        assert "cycle" in text and "instruction" in text
+
+    def test_detach_restores_step(self):
+        cpu = fresh_cpu()
+        tracer = ExecutionTracer(cpu)
+        cpu.step()
+        tracer.detach()
+        cpu.step()
+        assert len(tracer.entries) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ExecutionTracer(fresh_cpu(), capacity=0)
+
+    def test_tracing_does_not_change_results(self):
+        plain = fresh_cpu()
+        plain_cycles = plain.run()
+        traced = fresh_cpu()
+        ExecutionTracer(traced)
+        assert traced.run() == plain_cycles
+        assert traced.regs[0] == plain.regs[0]
+
+
+class TestProfiler:
+    def test_cycles_attributed(self):
+        cpu = fresh_cpu()
+        profiler = CycleProfiler(cpu)
+        total = cpu.run()
+        assert profiler.total_cycles == total
+        # The 16-cycle multiply dominates.
+        hottest_pc, hottest_cycles, visits = profiler.hottest(1)[0]
+        assert cpu.program.instructions[hottest_pc].op == "MUL"
+        assert hottest_cycles >= 16 * visits * 0.9
+
+    def test_render(self):
+        cpu = fresh_cpu()
+        profiler = CycleProfiler(cpu)
+        cpu.run()
+        text = profiler.render(3)
+        assert "share" in text and "MUL" in text
+
+    def test_detach(self):
+        cpu = fresh_cpu()
+        profiler = CycleProfiler(cpu)
+        cpu.step()
+        profiler.detach()
+        cpu.step()
+        assert sum(profiler.visits_by_pc.values()) == 1
+
+
+class TestDisassembler:
+    def test_lists_labels_and_costs(self):
+        text = disassemble(assemble(SOURCE))
+        assert "LOOP:" in text
+        assert "MUL" in text
+        # The multiply's static cost column shows 16.
+        mul_line = next(line for line in text.splitlines() if "MUL" in line)
+        assert "16" in mul_line

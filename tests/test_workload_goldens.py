@@ -1,0 +1,47 @@
+"""Golden-value regression tests for the tiny-scale workloads.
+
+Pins exact decoded outputs for the fixed default seeds: any change to
+the data generators, kernel definitions, fixed-point decode paths or
+the interpreter that alters results will trip these, separating
+intentional re-baselining from accidental numeric drift.
+"""
+
+import pytest
+
+from repro.compiler import evaluate
+from repro.workloads import make_workload
+
+GOLDENS = {
+    "Conv2d": {"first3": [115.893494, 138.974304, 151.08522], "sum": 4325.4026, "len": 36},
+    "MatMul": {"first3": [1163911399.0, 747167181.0, 956774518.0], "sum": 39757849633.0, "len": 36},
+    "MatAdd": {"first3": [1776573651.0, 400597336.0, 338748944.0], "sum": 69337091468.0, "len": 64},
+    "Home": {"first3": [223.25, 256.75, 277.75], "sum": 1752.5, "len": 8},
+    "Var": {"first3": [247485.0, 1219593.0], "sum": 1467078.0, "len": 2},
+    "NetMotion": {"first3": [162.208008], "sum": 162.208, "len": 1},
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_decoded_outputs_match_goldens(name):
+    workload = make_workload(name, "tiny")
+    result = evaluate(workload.kernel, workload.inputs)
+    outputs = {a.name: result[a.name] for a in workload.kernel.outputs()}
+    decoded = workload.decode(outputs)
+    golden = GOLDENS[name]
+    assert len(decoded) == golden["len"]
+    for got, expected in zip(decoded, golden["first3"]):
+        assert got == pytest.approx(expected, abs=1e-4)
+    assert sum(decoded) == pytest.approx(golden["sum"], abs=1e-2)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_compiled_precise_build_matches_goldens(name):
+    """The machine-code path reproduces the same goldens bit-for-bit."""
+    from repro.core import AnytimeKernel
+
+    workload = make_workload(name, "tiny")
+    run = AnytimeKernel(workload.kernel).run(workload.inputs)
+    decoded = workload.decode(run.outputs)
+    golden = GOLDENS[name]
+    for got, expected in zip(decoded, golden["first3"]):
+        assert got == pytest.approx(expected, abs=1e-4)

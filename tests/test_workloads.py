@@ -1,0 +1,154 @@
+"""Tests for the Table I workloads and the glucose case study."""
+
+import pytest
+
+from repro.core import AnytimeConfig, AnytimeKernel, nrmse
+from repro.compiler import evaluate
+from repro.workloads import BENCHMARKS, all_workloads, glucose, make_workload
+from repro.workloads import conv2d, home, matadd, matmul, netmotion, var
+from repro.workloads.data import gaussian_filter, motion_magnitudes, sensor_series, synthetic_image
+
+
+class TestSuiteStructure:
+    def test_all_benchmarks_buildable(self):
+        workloads = all_workloads("tiny")
+        assert set(workloads) == set(BENCHMARKS)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            make_workload("Quux")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("Conv2d", "enormous")
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_kernels_validate(self, name):
+        workload = make_workload(name, "tiny")
+        workload.kernel.validate()
+        assert workload.technique in ("swp", "swv")
+        assert workload.decode is not None
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_inputs_fit_arrays(self, name):
+        workload = make_workload(name, "tiny")
+        for array in workload.kernel.inputs():
+            values = workload.inputs[array.name]
+            assert len(values) == array.length
+            assert all(0 <= v <= array.value_mask for v in values)
+
+
+class TestWorkloadCorrectness:
+    """Every workload's anytime builds converge exactly to the precise
+    result on the simulated hardware (tiny scale keeps this fast)."""
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    @pytest.mark.parametrize("bits", [4, 8])
+    def test_anytime_converges_exactly(self, name, bits):
+        workload = make_workload(name, "tiny")
+        reference = workload.decoded_reference()
+        kernel = AnytimeKernel(
+            workload.kernel, AnytimeConfig(mode=workload.technique, bits=bits)
+        )
+        run = kernel.run(workload.inputs)
+        assert nrmse(reference, workload.decode(run.outputs)) < 1e-9
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_precise_build_matches_reference(self, name):
+        workload = make_workload(name, "tiny")
+        run = AnytimeKernel(workload.kernel).run(workload.inputs)
+        assert workload.decode(run.outputs) == workload.decoded_reference()
+
+
+class TestAccumulatorBounds:
+    def test_matmul_values_cannot_overflow(self):
+        n = matmul.SHAPES["paper"]
+        bound = matmul.value_bound(n)
+        assert n * bound * bound < 2**32
+
+    def test_var_sum_of_squares_fits(self):
+        readings = var.generate_readings(8, var.READINGS, seed=0)
+        assert max(readings) <= 8191
+        assert var.READINGS * max(readings) ** 2 < 2**32
+
+    def test_home_totals_fit(self):
+        workload = make_workload("Home", "paper")
+        worst = max(workload.inputs["S"]) * home.SWEEPS
+        assert worst < 2**32
+
+    def test_netmotion_total_fits(self):
+        workload = make_workload("NetMotion", "paper")
+        assert sum(workload.inputs["D"]) < 2**32
+
+
+class TestDataGenerators:
+    def test_image_deterministic(self):
+        assert synthetic_image(8, 8, 1) == synthetic_image(8, 8, 1)
+        assert synthetic_image(8, 8, 1) != synthetic_image(8, 8, 2)
+
+    def test_image_depths(self):
+        assert max(synthetic_image(8, 8, 0, depth_bits=8)) <= 255
+        deep = synthetic_image(8, 8, 0, depth_bits=16)
+        assert max(deep) > 255
+        with pytest.raises(ValueError):
+            synthetic_image(8, 8, 0, depth_bits=12)
+
+    def test_gaussian_filter_normalized(self):
+        taps = gaussian_filter(9)
+        assert sum(taps) == 256
+        assert taps[40] == max(taps)  # centre tap dominates
+
+    def test_sensor_series_nonnegative(self):
+        assert all(v >= 0 for v in sensor_series(50, 1, base=10.0, swing=30.0))
+
+    def test_motion_magnitudes_bounded(self):
+        values = motion_magnitudes(100, 2, peak=5000)
+        assert all(0 <= v <= 5000 for v in values)
+
+
+class TestGlucose:
+    def test_clinical_series_has_two_dips(self):
+        values = glucose.clinical_series(0)
+        times = glucose.times_of_day()
+        dips = glucose.detected_dips(times, values)
+        assert len(dips) >= 2
+        # One dip near 14:30, one near 18:30 (paper's clinical data).
+        assert any(14.0 <= t <= 15.0 for t in dips)
+        assert any(18.0 <= t <= 19.0 for t in dips)
+
+    def test_series_shape(self):
+        values = glucose.clinical_series(0)
+        assert len(values) == glucose.SERIES_POINTS
+        assert all(v >= 30.0 for v in values)
+
+    def test_calibration_roundtrip(self):
+        inputs = glucose.reading_inputs(123.0, batch=8, seed=3)
+        kernel = glucose.build_kernel(batch=8)
+        outputs = evaluate(kernel, inputs)
+        value = glucose.decode_reading({"G": outputs["G"]})
+        assert value == pytest.approx(123.0, abs=1.0)
+
+    def test_anytime_reading_within_iso_band(self):
+        """The paper's claim: 4-bit readings stay within +/-20%."""
+        kernel_ir = glucose.build_kernel(batch=8, bits=4)
+        anytime = AnytimeKernel(kernel_ir, AnytimeConfig(mode="swp", bits=4))
+        for mgdl in (45.0, 80.0, 150.0, 240.0):
+            inputs = glucose.reading_inputs(mgdl, batch=8, seed=1)
+            cpu = anytime.make_cpu(inputs)
+
+            def cut(target, cpu=cpu):
+                cpu.halted = True  # accept the first (MSb) pass only
+
+            cpu.skim_hook = cut
+            cpu.run()
+            value = glucose.decode_reading(anytime.read_outputs(cpu))
+            assert glucose.within_iso_band(mgdl, value), (mgdl, value)
+
+    def test_counts_saturate(self):
+        assert glucose.to_sensor_counts(1e9) == 65535
+        assert glucose.to_sensor_counts(-5) == 0
+
+    def test_iso_band(self):
+        assert glucose.within_iso_band(100, 119)
+        assert not glucose.within_iso_band(100, 121)
+        assert glucose.within_iso_band(0, 0)
