@@ -1,0 +1,26 @@
+"""Speed smoke: the pre-decoded interpreter must stay fast.
+
+Two gates, both machine-independent:
+
+* the fast CPU is at least 4x the reference interpreter on the MatMul
+  precise build (the PR that introduced pre-decoding measured 5.5x;
+  4x leaves slack for noisy shared runners), and
+* the normalized rate has not regressed >30% against the committed
+  ``BENCH_interp.json`` (same check as ``python -m repro bench --check``).
+"""
+
+from repro import benchmarking
+
+
+def test_fast_interpreter_speedup():
+    payload = benchmarking.run_bench(reps=3)
+    by_key = {(c["workload"], c["mode"]): c for c in payload["configs"]}
+    matmul = by_key[("MatMul", "precise")]
+    assert matmul["speedup"] >= 4.0, (
+        f"fast interpreter only {matmul['speedup']:.2f}x over reference"
+    )
+
+
+def test_no_regression_vs_committed_baseline():
+    failures = benchmarking.check_bench(reps=3)
+    assert not failures, "\n".join(failures)

@@ -60,6 +60,38 @@ def cmd_run(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.benchmark == "interp":
+        return _bench_interp(args)
+    return _bench_workload(args)
+
+
+def _bench_interp(args) -> int:
+    """Interpreter speed harness: regenerate or check BENCH_interp.json."""
+    import pathlib
+
+    from . import benchmarking
+
+    output = pathlib.Path(args.output) if args.output else None
+    if args.check:
+        try:
+            failures = benchmarking.check_bench(path=output, reps=args.reps or 3)
+        except FileNotFoundError as exc:
+            print(f"no committed baseline to check against: {exc}", file=sys.stderr)
+            print("run 'python -m repro bench' first to create it", file=sys.stderr)
+            return 1
+        if failures:
+            for failure in failures:
+                print(f"SPEED REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("interpreter speed within tolerance of committed baseline")
+        return 0
+    payload = benchmarking.write_bench(path=output, reps=args.reps or 5)
+    print(benchmarking.format_bench(payload))
+    print(f"wrote {output or benchmarking.DEFAULT_OUTPUT}")
+    return 0
+
+
+def _bench_workload(args) -> int:
     from .experiments import (
         ExperimentSetup,
         calibrate_environment,
@@ -106,12 +138,23 @@ def main(argv: Optional[list] = None) -> int:
     run_parser.add_argument("--invocations", type=int, default=1)
     run_parser.set_defaults(func=cmd_run)
 
-    bench_parser = subparsers.add_parser("bench", help="quick speedup check for one benchmark")
-    bench_parser.add_argument("benchmark")
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="benchmarks: 'interp' (default) times the interpreter and "
+             "writes BENCH_interp.json; a benchmark name runs a quick "
+             "speedup check",
+    )
+    bench_parser.add_argument("benchmark", nargs="?", default="interp")
     bench_parser.add_argument("--runtime", default="clank", choices=("clank", "nvp", "hibernus"))
     bench_parser.add_argument("--scale", default="default", choices=("tiny", "default", "paper"))
     bench_parser.add_argument("--traces", type=int, default=3)
     bench_parser.add_argument("--invocations", type=int, default=1)
+    bench_parser.add_argument("--check", action="store_true",
+                              help="interp only: fail on >30%% regression vs BENCH_interp.json")
+    bench_parser.add_argument("--reps", type=int, default=None,
+                              help="interp only: timing repetitions per config")
+    bench_parser.add_argument("--output", default=None,
+                              help="interp only: path for BENCH_interp.json")
     bench_parser.set_defaults(func=cmd_bench)
 
     args = parser.parse_args(argv)

@@ -1,0 +1,149 @@
+"""Interpreter speed harness: fast pre-decoded CPU vs. the reference.
+
+Times both interpreters end-to-end on three representative builds —
+MatMul precise (the pure-ALU/MUL baseline), MatMul SWP 8-bit (subword
+multiplies + skim points) and Home SWV 8-bit (the vector-add technique)
+— and records instructions/second for each, the fast/reference speedup,
+and a machine-normalized rate.
+
+Normalization: absolute instr/s numbers are machine-dependent, so the
+harness first times a fixed pure-Python integer loop (the "machine
+score") and stores each rate divided by it. The CI speed smoke
+(``python -m repro bench --check``) recomputes the normalized fast-CPU
+rate and fails on a >30% regression against the committed
+``BENCH_interp.json``, independent of which runner executed it.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .core import AnytimeConfig, AnytimeKernel
+from .sim import ReferenceCPU
+from .workloads import make_workload
+
+#: (workload, mode, bits) builds the harness times, at default scale.
+BENCH_CONFIGS = (
+    ("MatMul", "precise", None),
+    ("MatMul", "swp", 8),
+    ("Home", "swv", 8),
+)
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[2] / "BENCH_interp.json"
+REGRESSION_TOLERANCE = 0.30
+
+_MACHINE_LOOP_ITERS = 2_000_000
+
+
+def machine_score() -> float:
+    """Iterations/second of a fixed integer loop — the machine baseline."""
+    mask = 0xFFFFFFFF
+    acc = 0
+    start = time.perf_counter()
+    for i in range(_MACHINE_LOOP_ITERS):
+        acc = (acc + i * i) & mask
+    elapsed = time.perf_counter() - start
+    return _MACHINE_LOOP_ITERS / elapsed
+
+
+def _measure_rate(kernel: AnytimeKernel, inputs, cpu_cls, reps: int) -> float:
+    """Median instructions/second over ``reps`` full runs."""
+    rates: List[float] = []
+    for _ in range(reps):
+        cpu = kernel.make_cpu(inputs, cpu_cls=cpu_cls)
+        start = time.perf_counter()
+        cpu.run()
+        elapsed = time.perf_counter() - start
+        rates.append(cpu.stats.instructions / elapsed)
+    return statistics.median(rates)
+
+
+def run_bench(reps: int = 5, scale: str = "default") -> dict:
+    """Time every config; returns the BENCH_interp.json payload."""
+    score = machine_score()
+    configs = []
+    for name, mode, bits in BENCH_CONFIGS:
+        workload = make_workload(name, scale)
+        kernel = AnytimeKernel(workload.kernel, AnytimeConfig(mode=mode, bits=bits))
+        probe = kernel.make_cpu(workload.inputs)
+        probe.run()
+        instructions = probe.stats.instructions
+
+        fast = _measure_rate(kernel, workload.inputs, type(probe), reps)
+        ref = _measure_rate(kernel, workload.inputs, ReferenceCPU, reps)
+        configs.append(
+            {
+                "workload": name,
+                "mode": mode,
+                "bits": bits,
+                "scale": scale,
+                "instructions": instructions,
+                "reference_instr_per_s": round(ref, 1),
+                "fast_instr_per_s": round(fast, 1),
+                "speedup": round(fast / ref, 3),
+                # Machine-independent: fast instr/s per machine-loop op/s.
+                "normalized_fast": round(fast / score, 6),
+            }
+        )
+    return {
+        "schema": 1,
+        "machine_ops_per_s": round(score, 1),
+        "reps": reps,
+        "configs": configs,
+    }
+
+
+def write_bench(path: Optional[Path] = None, reps: int = 5) -> dict:
+    path = path or DEFAULT_OUTPUT
+    payload = run_bench(reps=reps)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def check_bench(
+    path: Optional[Path] = None,
+    reps: int = 3,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Compare current normalized rates against the committed baseline.
+
+    Returns a list of human-readable failures (empty = pass).
+    """
+    path = path or DEFAULT_OUTPUT
+    baseline = json.loads(path.read_text())
+    current = run_bench(reps=reps)
+    current_by_key = {
+        (c["workload"], c["mode"], c["bits"]): c for c in current["configs"]
+    }
+    failures = []
+    for base in baseline["configs"]:
+        key = (base["workload"], base["mode"], base["bits"])
+        now = current_by_key[key]
+        floor = base["normalized_fast"] * (1.0 - tolerance)
+        if now["normalized_fast"] < floor:
+            failures.append(
+                f"{key}: normalized fast rate {now['normalized_fast']:.4f} "
+                f"is below {floor:.4f} "
+                f"(committed {base['normalized_fast']:.4f} - {tolerance:.0%})"
+            )
+    return failures
+
+
+def format_bench(payload: dict) -> str:
+    lines = [
+        f"machine score: {payload['machine_ops_per_s']:,.0f} loop-ops/s "
+        f"(median of {payload['reps']} reps per config)"
+    ]
+    for c in payload["configs"]:
+        bits = "" if c["bits"] is None else f" {c['bits']}-bit"
+        lines.append(
+            f"  {c['workload']} {c['mode']}{bits} ({c['instructions']} instrs): "
+            f"fast {c['fast_instr_per_s']:,.0f} instr/s, "
+            f"reference {c['reference_instr_per_s']:,.0f} instr/s "
+            f"-> {c['speedup']:.2f}x (normalized {c['normalized_fast']:.4f})"
+        )
+    return "\n".join(lines)

@@ -156,11 +156,17 @@ class CompiledKernel:
         memory: Optional[Memory] = None,
         multiplier: Optional[Multiplier] = None,
         adder: Optional[SubwordAdder] = None,
+        cpu_cls: type = CPU,
     ) -> CPU:
-        """Build a CPU with the program loaded and inputs staged."""
+        """Build a CPU with the program loaded and inputs staged.
+
+        ``cpu_cls`` selects the interpreter — the pre-decoded
+        :class:`~repro.sim.cpu.CPU` by default, or
+        :class:`~repro.sim.reference.ReferenceCPU` for golden-model runs.
+        """
         memory = memory or default_memory()
         self.stage(memory, inputs)
-        return CPU(self.program, memory, multiplier=multiplier, adder=adder)
+        return cpu_cls(self.program, memory, multiplier=multiplier, adder=adder)
 
     @property
     def code_size_bytes(self) -> int:

@@ -92,8 +92,10 @@ class AnytimeKernel:
         table = MemoTable(self.config.memo_entries) if self.config.memoization else None
         return Multiplier(memo_table=table, zero_skipping=self.config.zero_skipping)
 
-    def make_cpu(self, inputs: Dict[str, Sequence[int]]) -> CPU:
-        return self.compiled.make_cpu(inputs, multiplier=self._multiplier())
+    def make_cpu(self, inputs: Dict[str, Sequence[int]], cpu_cls: type = CPU) -> CPU:
+        return self.compiled.make_cpu(
+            inputs, multiplier=self._multiplier(), cpu_cls=cpu_cls
+        )
 
     def reference_outputs(self, inputs: Dict[str, Sequence[int]]) -> Dict[str, List[int]]:
         """Precise outputs from the IR interpreter (ground truth)."""
@@ -167,9 +169,10 @@ class AnytimeKernel:
         start_tick: int = 0,
         max_wall_ms: int = 10_000_000,
         watchdog_cycles: Optional[int] = None,
+        cpu_cls: type = CPU,
     ) -> IntermittentRun:
         """Run under a harvested-power trace until complete (or skimmed)."""
-        cpu = self.make_cpu(inputs)
+        cpu = self.make_cpu(inputs, cpu_cls=cpu_cls)
         supply = PowerSupply(
             trace,
             capacitor or Capacitor(),

@@ -9,10 +9,12 @@ from .common import (
     SampleRun,
     build_anytime,
     calibrate_environment,
+    experiment_jobs,
     first_skim_cycles,
     measure_precise_cycles,
     median_speedup,
     run_benchmark,
+    run_benchmark_suite,
 )
 from .report import ascii_image, format_series, format_table
 from . import (
@@ -74,11 +76,13 @@ __all__ = [
     "ascii_image",
     "build_anytime",
     "calibrate_environment",
+    "experiment_jobs",
     "first_skim_cycles",
     "format_series",
     "format_table",
     "measure_precise_cycles",
     "median_speedup",
     "run_benchmark",
+    "run_benchmark_suite",
     "run_experiment",
 ]

@@ -11,10 +11,20 @@ livelock).
 
 The paper invokes each application 3 times on 9 voltage traces and
 reports medians; :func:`run_benchmark` mirrors that.
+
+Parallelism: the trace x invocation grid is embarrassingly parallel and
+every sample is deterministic given (workload name, scale, mode, bits,
+runtime, environment, trace index, invocation). Setting ``REPRO_JOBS=N``
+(N > 1) fans the grid over N worker processes via
+:class:`concurrent.futures.ProcessPoolExecutor`; results are merged in
+grid order, so the output is identical to the serial run. With
+``REPRO_JOBS`` unset (or 1) the original in-process loop runs —
+bit-identical to the pre-parallel harness.
 """
 
 from __future__ import annotations
 
+import os
 import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -134,6 +144,148 @@ def measure_precise_cycles(workload: Workload) -> int:
     return build_anytime(workload, "precise").run(workload.inputs).cycles
 
 
+def experiment_jobs() -> int:
+    """Worker-process count from ``REPRO_JOBS`` (default 1 = serial)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+@dataclass(frozen=True)
+class SampleSpec:
+    """Everything a worker process needs to reproduce one grid sample.
+
+    Only primitives: specs cross the pickle boundary. Traces and
+    workloads are regenerated in the worker from their seeds/names
+    (both are deterministic) and cached per process.
+    """
+
+    workload_name: str
+    scale: str
+    mode: str
+    bits: Optional[int]
+    runtime: str
+    trace_index: int
+    invocation: int
+    capacitor_f: float
+    watchdog_cycles: int
+    trace_count: int
+    trace_duration_ms: int
+    trace_seed: int
+    max_wall_ms: int
+    reference: Optional[Tuple[float, ...]] = None
+
+
+# Per-process caches: workers in a pool handle many samples of the same
+# configuration, so the expensive rebuilds happen once per process.
+_worker_workloads: Dict[Tuple[str, str], Tuple[Workload, Tuple[float, ...]]] = {}
+_worker_kernels: Dict[Tuple[str, str, str, Optional[int]], AnytimeKernel] = {}
+_worker_traces: Dict[Tuple[int, int, int], List[PowerTrace]] = {}
+
+
+def _run_sample(spec: SampleSpec) -> SampleRun:
+    """Execute one (trace, invocation) sample; runs in a worker process."""
+    from ..workloads import make_workload
+
+    wkey = (spec.workload_name, spec.scale)
+    if wkey not in _worker_workloads:
+        workload = make_workload(spec.workload_name, spec.scale)
+        _worker_workloads[wkey] = (workload, tuple(workload.decoded_reference()))
+    workload, default_reference = _worker_workloads[wkey]
+    reference = spec.reference if spec.reference is not None else default_reference
+
+    kkey = (spec.workload_name, spec.scale, spec.mode, spec.bits)
+    if kkey not in _worker_kernels:
+        _worker_kernels[kkey] = build_anytime(workload, spec.mode, spec.bits)
+    kernel = _worker_kernels[kkey]
+
+    tkey = (spec.trace_count, spec.trace_duration_ms, spec.trace_seed)
+    if tkey not in _worker_traces:
+        _worker_traces[tkey] = paper_traces(
+            count=spec.trace_count,
+            duration_ms=spec.trace_duration_ms,
+            base_seed=spec.trace_seed,
+        )
+    trace = _worker_traces[tkey][spec.trace_index]
+
+    energy = EnergyModel(
+        backup_overhead=NVP_BACKUP_OVERHEAD if spec.runtime == "nvp" else 0.0
+    )
+    run = kernel.run_intermittent(
+        workload.inputs,
+        trace,
+        runtime=spec.runtime,
+        capacitor=Capacitor(
+            capacitance_f=spec.capacitor_f, v_initial=3.0, v_max=3.3
+        ),
+        energy_model=energy,
+        start_tick=spec.invocation * 313,
+        max_wall_ms=spec.max_wall_ms,
+        watchdog_cycles=spec.watchdog_cycles if spec.runtime == "clank" else None,
+    )
+    if not run.result.completed:
+        raise RuntimeError(
+            f"{spec.workload_name} [{spec.mode}/{spec.runtime}] did not "
+            f"complete on trace {trace.name!r} within {spec.max_wall_ms} ms"
+        )
+    return SampleRun(
+        wall_ms=run.result.wall_ms,
+        on_ms=run.result.on_ms,
+        active_cycles=run.result.active_cycles,
+        outages=run.result.outages,
+        skim_taken=run.result.skim_taken,
+        error=nrmse(reference, workload.decode(run.outputs)),
+    )
+
+
+def _sample_specs(
+    workload: Workload,
+    mode: str,
+    bits: Optional[int],
+    runtime: str,
+    setup: ExperimentSetup,
+    environment: Environment,
+    reference: Optional[Sequence[float]],
+) -> List[SampleSpec]:
+    """The trace x invocation grid for one configuration, in grid order."""
+    return [
+        SampleSpec(
+            workload_name=workload.name,
+            scale=workload.scale,
+            mode=mode,
+            bits=bits,
+            runtime=runtime,
+            trace_index=trace_index,
+            invocation=invocation,
+            capacitor_f=environment.capacitor_f,
+            watchdog_cycles=environment.watchdog_cycles,
+            trace_count=setup.trace_count,
+            trace_duration_ms=setup.trace_duration_ms,
+            trace_seed=setup.trace_seed,
+            max_wall_ms=setup.max_wall_ms,
+            reference=None if reference is None else tuple(reference),
+        )
+        for trace_index in range(setup.trace_count)
+        for invocation in range(setup.invocations)
+    ]
+
+
+def _map_samples(specs: List[SampleSpec], jobs: int) -> List[SampleRun]:
+    """Ordered map over the grid: serial when jobs <= 1, else a process
+    pool. ``ProcessPoolExecutor.map`` yields in submission order, so the
+    merged result list is independent of worker scheduling."""
+    if jobs <= 1 or len(specs) <= 1:
+        return [_run_sample(spec) for spec in specs]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        return list(pool.map(_run_sample, specs))
+
+
 def run_benchmark(
     workload: Workload,
     mode: str,
@@ -142,19 +294,31 @@ def run_benchmark(
     setup: ExperimentSetup,
     environment: Optional[Environment] = None,
     reference: Optional[Sequence[float]] = None,
+    jobs: Optional[int] = None,
 ) -> BenchmarkResult:
-    """Run one configuration over all traces x invocations."""
+    """Run one configuration over all traces x invocations.
+
+    ``jobs`` defaults to :func:`experiment_jobs` (the ``REPRO_JOBS``
+    environment variable). Parallel execution needs a workload that
+    worker processes can rebuild (``workload.scale`` set, i.e. built by
+    ``make_workload``); otherwise the serial path runs regardless.
+    """
     if environment is None:
         environment = calibrate_environment(measure_precise_cycles(workload), setup)
     if reference is None:
         reference = workload.decoded_reference()
+    jobs = experiment_jobs() if jobs is None else max(1, jobs)
+
+    result = BenchmarkResult(workload.name, mode, bits, runtime)
+    if jobs > 1 and workload.scale is not None:
+        specs = _sample_specs(workload, mode, bits, runtime, setup, environment, reference)
+        result.runs.extend(_map_samples(specs, jobs))
+        return result
 
     kernel = build_anytime(workload, mode, bits)
     energy = EnergyModel(
         backup_overhead=NVP_BACKUP_OVERHEAD if runtime == "nvp" else 0.0
     )
-
-    result = BenchmarkResult(workload.name, mode, bits, runtime)
     for trace in setup.traces():
         for invocation in range(setup.invocations):
             run = kernel.run_intermittent(
@@ -184,6 +348,51 @@ def run_benchmark(
                 )
             )
     return result
+
+
+def run_benchmark_suite(
+    workload: Workload,
+    configs: Sequence[Tuple[str, Optional[int]]],
+    runtime: str,
+    setup: ExperimentSetup,
+    environment: Optional[Environment] = None,
+    reference: Optional[Sequence[float]] = None,
+) -> List[BenchmarkResult]:
+    """Run several (mode, bits) configurations of one workload.
+
+    This is the fan-out point the figure experiments share: with
+    ``REPRO_JOBS`` > 1 the *combined* configs x traces x invocations
+    grid feeds one process pool, so small per-config grids still fill
+    every worker. Results come back per config, samples in grid order —
+    identical to calling :func:`run_benchmark` per config serially.
+    """
+    if environment is None:
+        environment = calibrate_environment(measure_precise_cycles(workload), setup)
+    if reference is None:
+        reference = workload.decoded_reference()
+    jobs = experiment_jobs()
+
+    if jobs <= 1 or workload.scale is None:
+        return [
+            run_benchmark(workload, mode, bits, runtime, setup, environment,
+                          reference, jobs=1)
+            for mode, bits in configs
+        ]
+
+    all_specs: List[SampleSpec] = []
+    for mode, bits in configs:
+        all_specs.extend(
+            _sample_specs(workload, mode, bits, runtime, setup, environment, reference)
+        )
+    runs = _map_samples(all_specs, jobs)
+
+    per_config = setup.trace_count * setup.invocations
+    results = []
+    for index, (mode, bits) in enumerate(configs):
+        result = BenchmarkResult(workload.name, mode, bits, runtime)
+        result.runs.extend(runs[index * per_config:(index + 1) * per_config])
+        results.append(result)
+    return results
 
 
 def median_speedup(baseline: BenchmarkResult, wn: BenchmarkResult) -> float:

@@ -22,7 +22,7 @@ from .common import (
     calibrate_environment,
     measure_precise_cycles,
     median_speedup,
-    run_benchmark,
+    run_benchmark_suite,
 )
 from .report import format_table
 
@@ -90,9 +90,11 @@ def run_speedup_experiment(
         workload = make_workload(name, setup.scale)
         environment = calibrate_environment(measure_precise_cycles(workload), setup)
         reference = workload.decoded_reference()
-        baseline = run_benchmark(workload, "precise", None, runtime, setup, environment, reference)
-        wn8 = run_benchmark(workload, workload.technique, 8, runtime, setup, environment, reference)
-        wn4 = run_benchmark(workload, workload.technique, 4, runtime, setup, environment, reference)
+        baseline, wn8, wn4 = run_benchmark_suite(
+            workload,
+            [("precise", None), (workload.technique, 8), (workload.technique, 4)],
+            runtime, setup, environment, reference,
+        )
         result.raw[(name, "precise")] = baseline
         result.raw[(name, "8bit")] = wn8
         result.raw[(name, "4bit")] = wn4

@@ -76,7 +76,9 @@ ALU_OPS = frozenset(
 )
 
 #: Two-cycle memory operations (M0+ loads/stores take 2 cycles).
-MEM_OPS = frozenset({"LDR", "LDRB", "LDRH", "STR", "STRB", "STRH"})
+LOAD_OPS = frozenset({"LDR", "LDRB", "LDRH"})
+STORE_OPS = frozenset({"STR", "STRB", "STRH"})
+MEM_OPS = LOAD_OPS | STORE_OPS
 
 #: Conditional branch mnemonics and the condition they encode.
 BRANCH_CONDS = {
@@ -227,3 +229,14 @@ def cycle_cost(instr: Instruction, *, taken: bool = False) -> int:
     if op == "HALT":
         return 1
     raise ValueError(f"no cycle cost for {op!r}")
+
+
+def worst_case_cost(instr: Instruction) -> int:
+    """Worst-case cycle cost of ``instr`` (branches assumed taken).
+
+    This is the bound :meth:`repro.sim.cpu.CPU.peek_cost` charges when
+    deciding whether an instruction fits the remaining energy budget; it
+    ignores data-dependent shortcuts (multiplier memoization, zero
+    skipping) and runtime overheads charged through the store hook.
+    """
+    return cycle_cost(instr, taken=True)

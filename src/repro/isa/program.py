@@ -26,6 +26,11 @@ class Program:
         self.labels: Dict[str, int] = dict(labels or {})
         self.constants: Dict[str, int] = dict(constants or {})
         self.name = name
+        # Decode-once cache filled by repro.sim.decode.decode_program:
+        # per-instruction worst-case costs and retire metadata shared by
+        # every CPU that runs this program. Programs are immutable after
+        # assembly, so the cache never needs invalidation.
+        self._decoded_cache = None
 
     def __len__(self) -> int:
         return len(self.instructions)

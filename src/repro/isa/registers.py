@@ -44,6 +44,10 @@ class Flags:
     def restore(self, snap: tuple) -> None:
         self.n, self.z, self.c, self.v = snap
 
+    def reset(self) -> None:
+        """Clear all flags in place (power-on state)."""
+        self.n = self.z = self.c = self.v = False
+
     def set_nz(self, result: int) -> None:
         result &= MASK32
         self.n = bool(result & 0x80000000)
@@ -104,9 +108,16 @@ class RegisterFile:
         return list(self.regs)
 
     def restore(self, snap: Iterable[int]) -> None:
-        self.regs = list(snap)
-        if len(self.regs) != NUM_REGS:
+        snap = list(snap)
+        if len(snap) != NUM_REGS:
             raise ValueError("register snapshot has wrong length")
+        # In-place so the pre-decoded interpreter's handlers, which bind
+        # the underlying list once at decode time, keep seeing updates.
+        self.regs[:] = snap
+
+    def reset(self) -> None:
+        """Zero all registers in place (power-on state)."""
+        self.regs[:] = [0] * NUM_REGS
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "RegisterFile(" + ", ".join(f"R{i}={v:#x}" for i, v in enumerate(self.regs)) + ")"

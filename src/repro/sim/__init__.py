@@ -22,10 +22,12 @@ from .peripherals import (
 from .stats import ExecutionStats
 from .tracing import CycleProfiler, ExecutionTracer, disassemble
 from .cpu import CPU, CpuFault
+from .reference import ReferenceCPU
 
 __all__ = [
     "CPU",
     "CpuFault",
+    "ReferenceCPU",
     "CycleProfiler",
     "DeviceRegion",
     "ExecutionTracer",

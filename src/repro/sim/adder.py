@@ -23,6 +23,8 @@ NUM_MUXES = len(MUX_POSITIONS)
 class SubwordAdder:
     """Functional model of the reconfigurable 32-bit adder."""
 
+    __slots__ = ("add_count", "vector_add_count")
+
     def __init__(self):
         self.add_count = 0
         self.vector_add_count = 0

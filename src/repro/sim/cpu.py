@@ -8,6 +8,16 @@ loads/stores, 2-cycle taken branches and an iterative multiplier
 the :class:`~repro.sim.multiplier.Multiplier` and
 :class:`~repro.sim.adder.SubwordAdder` functional units.
 
+This is the *fast* interpreter: at construction every instruction is
+decoded once into a specialized closure (see :mod:`repro.sim.decode`),
+per-instruction worst-case costs are pre-computed for ``peek_cost`` /
+``run_cycles``, and statistics are kept as batched per-instruction
+retire counters that materialize into :class:`ExecutionStats` only when
+``cpu.stats`` is read. The original string-dispatch interpreter lives
+on unchanged as :class:`repro.sim.reference.ReferenceCPU` — the golden
+model the fast interpreter is differentially tested against
+(``tests/test_fast_interpreter.py``).
+
 The CPU exposes three hooks used by the intermittent runtimes:
 
 * ``load_hook(addr, size)`` — called before each load commits.
@@ -16,23 +26,20 @@ The CPU exposes three hooks used by the intermittent runtimes:
   store would violate idempotency).
 * ``skim_hook(target)`` — called when a ``SKM`` retires; the runtime
   records the target in the non-volatile skim register.
+
+Hooks are read at execution time, so they can be installed or replaced
+at any point after construction (the runtimes' ``attach`` does exactly
+that).
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-from ..isa.instructions import (
-    BRANCH_CONDS,
-    Instruction,
-    MUL_CYCLES,
-    asp_width,
-    asv_width,
-    cycle_cost,
-)
 from ..isa.program import Program
-from ..isa.registers import Flags, MASK32, RegisterFile, to_signed
+from ..isa.registers import Flags, RegisterFile
 from .adder import SubwordAdder
+from .decode import bind_handlers, decode_program
 from .memory import Memory
 from .multiplier import Multiplier
 from .stats import ExecutionStats
@@ -43,7 +50,38 @@ class CpuFault(Exception):
 
 
 class CPU:
-    """Interpreter for one program on one memory."""
+    """Pre-decoded interpreter for one program on one memory."""
+
+    # Slotted so the dispatch loop's pc/halted reads and the handlers'
+    # pc stores skip the instance dict. "__dict__" stays in the slots:
+    # tracers (repro.sim.tracing) wrap ``cpu.step`` by assigning an
+    # instance attribute, and that must keep working.
+    __slots__ = (
+        "program",
+        "memory",
+        "multiplier",
+        "adder",
+        "regs",
+        "flags",
+        "pc",
+        "halted",
+        "_stats",
+        "load_hook",
+        "store_hook",
+        "skim_hook",
+        "_instructions",
+        "_retire_counts",
+        "_taken_counts",
+        "_extra_cycles",
+        "_metas",
+        "_peek_costs",
+        "_handlers",
+        "__dict__",
+    )
+
+    #: Subclasses that interpret :class:`Instruction` objects directly
+    #: (the golden model) set this to False and skip the decode pass.
+    predecode = True
 
     def __init__(
         self,
@@ -60,13 +98,43 @@ class CPU:
         self.flags = Flags()
         self.pc = 0
         self.halted = False
-        self.stats = ExecutionStats()
+        self._stats = ExecutionStats()
 
         self.load_hook: Optional[Callable[[int, int], None]] = None
         self.store_hook: Optional[Callable[[int, int], int]] = None
         self.skim_hook: Optional[Callable[[int], None]] = None
 
         self._instructions = program.instructions
+        self._retire_counts: Optional[List[int]] = None
+        self._taken_counts: Optional[List[int]] = None
+        self._extra_cycles = 0
+        if self.predecode:
+            decoded = decode_program(program)
+            self._metas = decoded.metas
+            self._peek_costs = decoded.peek_costs
+            self._retire_counts = [0] * len(self._instructions)
+            self._taken_counts = [0] * len(self._instructions)
+            self._handlers = bind_handlers(self)
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def stats(self) -> ExecutionStats:
+        """Execution statistics (materialized from batched counters)."""
+        if self._retire_counts is not None:
+            self._flush_stats()
+        return self._stats
+
+    @stats.setter
+    def stats(self, value: ExecutionStats) -> None:
+        self._stats = value
+
+    def _flush_stats(self) -> None:
+        self._stats.absorb_counts(
+            self._metas, self._retire_counts, self._taken_counts,
+            self._extra_cycles,
+        )
+        self._extra_cycles = 0
 
     # -- architectural state ---------------------------------------------------
 
@@ -82,8 +150,9 @@ class CPU:
         self.halted = False
 
     def reset(self, pc: int = 0) -> None:
-        self.regs = RegisterFile()
-        self.flags = Flags()
+        # In place: the decoded handlers keep their bindings valid.
+        self.regs.reset()
+        self.flags.reset()
         self.pc = pc
         self.halted = False
 
@@ -94,226 +163,77 @@ class CPU:
 
         Used by the intermittent executor to decide whether the next
         instruction fits in the remaining energy budget (an instruction
-        that would outlive the supply does not commit).
+        that would outlive the supply does not commit). Pre-computed at
+        decode time; data-dependent shortcuts (multiplier memoization,
+        zero skipping) may make the instruction cheaper, never costlier.
         """
         if self.halted:
             return 0
-        instr = self._instructions[self.pc]
-        if instr.op == "MUL":
-            return MUL_CYCLES
-        return cycle_cost(instr, taken=True)
+        return self._peek_costs[self.pc]
 
     def step(self) -> int:
         """Execute one instruction; returns the cycles it consumed."""
         if self.halted:
             raise CpuFault("CPU is halted")
-        if not 0 <= self.pc < len(self._instructions):
-            raise CpuFault(f"PC out of range: {self.pc}")
-        instr = self._instructions[self.pc]
-        op = instr.op
-        regs = self.regs.regs
-
-        # -- memory ops (most frequent) --------------------------------------
-        if op in ("LDR", "LDRB", "LDRH", "STR", "STRB", "STRH"):
-            addr = regs[instr.rn] + (regs[instr.rm] if instr.rm is not None else instr.imm)
-            addr &= MASK32
-            size = 4 if op.endswith("R") else (1 if op.endswith("B") else 2)
-            if op[0] == "L":
-                if self.load_hook is not None:
-                    self.load_hook(addr, size)
-                if size == 4:
-                    regs[instr.rd] = self.memory.load_word(addr)
-                elif size == 1:
-                    regs[instr.rd] = self.memory.load_byte(addr)
-                else:
-                    regs[instr.rd] = self.memory.load_half(addr)
-                cycles = 2
-            else:
-                cycles = 2
-                if self.store_hook is not None:
-                    cycles += self.store_hook(addr, size)
-                value = regs[instr.rd]
-                if size == 4:
-                    self.memory.store_word(addr, value)
-                elif size == 1:
-                    self.memory.store_byte(addr, value)
-                else:
-                    self.memory.store_half(addr, value)
-            self.pc += 1
-            self.stats.record(op, cycles, is_wn=False)
-            return cycles
-
-        # -- branches ----------------------------------------------------------
-        if op in BRANCH_CONDS:
-            taken = self.flags.condition(BRANCH_CONDS[op])
-            if taken:
-                self.pc = instr.target
-                cycles = 2
-            else:
-                self.pc += 1
-                cycles = 1
-            self.stats.record(op, cycles, is_wn=False, taken=taken)
-            return cycles
-        if op == "B":
-            self.pc = instr.target
-            self.stats.record(op, 2, is_wn=False, taken=True)
-            return 2
-        if op == "BL":
-            regs[14] = self.pc + 1
-            self.pc = instr.target
-            self.stats.record(op, 3, is_wn=False, taken=True)
-            return 3
-        if op == "BX":
-            self.pc = regs[instr.rm]
-            self.stats.record(op, 2, is_wn=False, taken=True)
-            return 2
-
-        # -- multiplies ---------------------------------------------------------
-        if op == "MUL":
-            result, cycles = self.multiplier.mul(regs[instr.rd], regs[instr.rm])
-            regs[instr.rd] = result
-            self.flags.set_nz(result)
-            self.pc += 1
-            self.stats.record(op, cycles, is_wn=False)
-            return cycles
-        if op.startswith("MUL_ASP"):
-            width = asp_width(op)
-            if op.startswith("MUL_ASPS"):
-                result, cycles = self.multiplier.mul_asp_signed(
-                    regs[instr.rd], regs[instr.rm], width, instr.imm
-                )
-            else:
-                result, cycles = self.multiplier.mul_asp(
-                    regs[instr.rd], regs[instr.rm], width, instr.imm
-                )
-            regs[instr.rd] = result
-            self.flags.set_nz(result)
-            self.pc += 1
-            self.stats.record(op, cycles, is_wn=True)
-            return cycles
-
-        # -- vector ops ------------------------------------------------------------
-        if "_ASV" in op:
-            width = asv_width(op)
-            if op.startswith("ADD"):
-                regs[instr.rd] = self.adder.add_vector(regs[instr.rd], regs[instr.rm], width)
-            else:
-                regs[instr.rd] = self.adder.sub_vector(regs[instr.rd], regs[instr.rm], width)
-            self.pc += 1
-            self.stats.record(op, 1, is_wn=True)
-            return 1
-
-        # -- skim point ----------------------------------------------------------------
-        if op == "SKM":
-            if self.skim_hook is not None:
-                self.skim_hook(instr.target)
-            self.pc += 1
-            self.stats.record(op, 1, is_wn=True)
-            return 1
-
-        # -- control -----------------------------------------------------------------
-        if op == "HALT":
-            self.halted = True
-            self.stats.record(op, 1, is_wn=False)
-            return 1
-        if op == "NOP":
-            self.pc += 1
-            self.stats.record(op, 1, is_wn=False)
-            return 1
-
-        return self._step_alu(instr)
-
-    def _step_alu(self, instr: Instruction) -> int:
-        """Single-cycle ALU instructions."""
-        op = instr.op
-        regs = self.regs.regs
-        flags = self.flags
-        src = regs[instr.rm] if instr.rm is not None else instr.imm
-
-        if op == "MOV":
-            result = src & MASK32
-            regs[instr.rd] = result
-            flags.set_nz(result)
-        elif op == "MVN":
-            result = (~src) & MASK32
-            regs[instr.rd] = result
-            flags.set_nz(result)
-        elif op in ("ADD", "ADC"):
-            carry_in = flags.c if op == "ADC" else 0
-            result, flags.c, flags.v = self.adder.add32(regs[instr.rn], src, carry_in)
-            regs[instr.rd] = result
-            flags.set_nz(result)
-        elif op in ("SUB", "SBC"):
-            carry_in = flags.c if op == "SBC" else 1
-            result, flags.c, flags.v = self.adder.sub32(regs[instr.rn], src, carry_in)
-            regs[instr.rd] = result
-            flags.set_nz(result)
-        elif op == "RSB":
-            result, flags.c, flags.v = self.adder.sub32(src, regs[instr.rn], 1)
-            regs[instr.rd] = result
-            flags.set_nz(result)
-        elif op == "NEG":
-            result, flags.c, flags.v = self.adder.sub32(0, src, 1)
-            regs[instr.rd] = result
-            flags.set_nz(result)
-        elif op == "CMP":
-            result, flags.c, flags.v = self.adder.sub32(regs[instr.rn], src, 1)
-            flags.set_nz(result)
-        elif op == "CMN":
-            result, flags.c, flags.v = self.adder.add32(regs[instr.rn], src, 0)
-            flags.set_nz(result)
-        elif op == "TST":
-            flags.set_nz(regs[instr.rn] & src)
-        elif op == "AND":
-            result = regs[instr.rn] & src
-            regs[instr.rd] = result
-            flags.set_nz(result)
-        elif op == "ORR":
-            result = regs[instr.rn] | src
-            regs[instr.rd] = result
-            flags.set_nz(result)
-        elif op == "EOR":
-            result = regs[instr.rn] ^ src
-            regs[instr.rd] = result
-            flags.set_nz(result)
-        elif op == "BIC":
-            result = regs[instr.rn] & ~src & MASK32
-            regs[instr.rd] = result
-            flags.set_nz(result)
-        elif op == "LSL":
-            shift = min(src & 0xFF, 32)
-            result = (regs[instr.rn] << shift) & MASK32
-            regs[instr.rd] = result
-            flags.set_nz(result)
-        elif op == "LSR":
-            shift = min(src & 0xFF, 32)
-            result = (regs[instr.rn] & MASK32) >> shift
-            regs[instr.rd] = result
-            flags.set_nz(result)
-        elif op == "ASR":
-            shift = min(src & 0xFF, 32)
-            result = (to_signed(regs[instr.rn]) >> shift) & MASK32
-            regs[instr.rd] = result
-            flags.set_nz(result)
-        elif op == "SXTB":
-            regs[instr.rd] = to_signed(src, 8) & MASK32
-        elif op == "SXTH":
-            regs[instr.rd] = to_signed(src, 16) & MASK32
-        elif op == "UXTB":
-            regs[instr.rd] = src & 0xFF
-        elif op == "UXTH":
-            regs[instr.rd] = src & 0xFFFF
-        else:  # pragma: no cover - all ops are enumerated above
-            raise CpuFault(f"unimplemented opcode {op!r}")
-
-        self.pc += 1
-        self.stats.record(op, 1, is_wn=False)
-        return 1
+        pc = self.pc
+        if not 0 <= pc < len(self._handlers):
+            raise CpuFault(f"PC out of range: {pc}")
+        return self._handlers[pc]()
 
     # -- run loops -----------------------------------------------------------------
 
     def run(self, max_instructions: int = 100_000_000) -> int:
-        """Run until HALT; returns total cycles. Raises if the limit trips."""
+        """Run until HALT; returns total cycles. Raises if the limit trips.
+
+        The fast loop discards the handlers' cycle returns and recovers
+        the total from the statistics delta instead: dropping the
+        per-iteration accumulate-and-count bookkeeping is worth ~2x in
+        dispatch throughput, and ``absorb_counts`` reconstructs the
+        exact same cycle total the per-step returns would have summed to.
+        """
+        if "step" in self.__dict__:
+            return self._run_generic(max_instructions)
+        handlers = self._handlers
+        self._flush_stats()
+        start_cycles = self._stats.cycles
+        try:
+            for _ in range(max_instructions + 1):
+                if self.halted:
+                    break
+                handlers[self.pc]()
+            else:
+                raise CpuFault("instruction limit exceeded (runaway program?)")
+        except IndexError:
+            raise CpuFault(f"PC out of range: {self.pc}") from None
+        self._flush_stats()
+        return self._stats.cycles - start_cycles
+
+    def run_cycles(self, budget: int) -> int:
+        """Run until the cycle budget is exhausted or the program halts.
+
+        An instruction only commits if its worst-case cost fits in the
+        remaining budget (power dies mid-instruction otherwise). Returns
+        the cycles actually consumed (<= budget, plus any runtime
+        overhead the store hook charges on the committing instruction).
+        """
+        if "step" in self.__dict__:
+            return self._run_cycles_generic(budget)
+        handlers = self._handlers
+        costs = self._peek_costs
+        consumed = 0
+        while not self.halted:
+            pc = self.pc
+            cost = costs[pc]
+            if consumed + cost > budget:
+                break
+            consumed += handlers[pc]()
+        return consumed
+
+    # Generic loops dispatching through self.step, used when a tracer or
+    # profiler has wrapped ``cpu.step`` (see repro.sim.tracing) and by
+    # the reference interpreter, which overrides step/peek_cost.
+
+    def _run_generic(self, max_instructions: int) -> int:
         total = 0
         executed = 0
         while not self.halted:
@@ -323,13 +243,7 @@ class CPU:
                 raise CpuFault("instruction limit exceeded (runaway program?)")
         return total
 
-    def run_cycles(self, budget: int) -> int:
-        """Run until the cycle budget is exhausted or the program halts.
-
-        An instruction only commits if its worst-case cost fits in the
-        remaining budget (power dies mid-instruction otherwise). Returns
-        the cycles actually consumed (<= budget).
-        """
+    def _run_cycles_generic(self, budget: int) -> int:
         consumed = 0
         while not self.halted:
             cost = self.peek_cost()

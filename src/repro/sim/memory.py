@@ -74,8 +74,11 @@ class Memory:
         return self._by_name[name]
 
     def _find(self, addr: int, length: int) -> Region:
+        # contains() inlined: this is the hottest path in the simulator
+        # (every load/store goes through it).
         for region in self.regions:
-            if region.contains(addr, length):
+            base = region.base
+            if base <= addr and addr + length <= base + region.size:
                 return region
         raise MemoryError_(f"access to unmapped address {addr:#010x} (+{length})")
 

@@ -80,6 +80,8 @@ class MemoTable:
 class Multiplier:
     """Functional + timing model of the (anytime) iterative multiplier."""
 
+    __slots__ = ("memo", "zero_skipping", "full_width", "total_mul_cycles", "mul_count")
+
     def __init__(
         self,
         memo_table: Optional[MemoTable] = None,

@@ -47,6 +47,46 @@ class ExecutionStats:
         """
         return self.wn_instructions / self.instructions if self.instructions else 0.0
 
+    def absorb_counts(self, metas, counts, taken, extra_cycles: int) -> None:
+        """Fold the pre-decoded interpreter's batched counters into this.
+
+        ``metas`` is the per-instruction :class:`repro.sim.decode.RetireMeta`
+        list, ``counts``/``taken`` the parallel retire/taken-branch
+        counters (zeroed as they are consumed) and ``extra_cycles`` the
+        accumulated variable-cost cycles (multiplies, store-hook
+        overheads) that fixed per-opcode costs cannot express. The
+        result is identical to having called :meth:`record` once per
+        retired instruction.
+        """
+        op_counts = self.op_counts
+        for i, c in enumerate(counts):
+            if not c:
+                continue
+            m = metas[i]
+            counts[i] = 0
+            self.instructions += c
+            op_counts[m.op] += c
+            if m.is_cond_branch:
+                t = taken[i]
+                taken[i] = 0
+                self.cycles += c + t  # untaken: 1 cycle; taken: 2
+                self.branches += c
+                self.taken_branches += t
+            else:
+                self.cycles += c * m.cost
+                if m.is_branch:
+                    self.branches += c
+                    self.taken_branches += c
+            if m.is_load:
+                self.loads += c
+            elif m.is_store:
+                self.stores += c
+            if m.is_mul:
+                self.multiplies += c
+            if m.is_wn:
+                self.wn_instructions += c
+        self.cycles += extra_cycles
+
     def merge(self, other: "ExecutionStats") -> None:
         self.instructions += other.instructions
         self.cycles += other.cycles

@@ -23,7 +23,10 @@ def make_workload(name: str, scale: str = "default", **kwargs) -> Workload:
     """Build one Table I benchmark by name."""
     if name not in _FACTORIES:
         raise KeyError(f"unknown benchmark {name!r}; choose from {BENCHMARKS}")
-    return _FACTORIES[name](scale=scale, **kwargs)
+    workload = _FACTORIES[name](scale=scale, **kwargs)
+    if not kwargs:
+        workload.scale = scale  # reconstructible in worker processes
+    return workload
 
 
 def all_workloads(scale: str = "default", **kwargs) -> Dict[str, Workload]:

@@ -33,6 +33,11 @@ class Workload:
     decode: Callable[[Dict[str, List[int]]], List[float]]
     provisioned: bool = False
     params: Dict[str, int] = field(default_factory=dict)
+    #: Set by make_workload when the workload is reconstructible from
+    #: (name, scale) alone; the parallel experiment runner uses it to
+    #: rebuild the workload inside worker processes. None means "only
+    #: this object knows how it was built" and forces the serial path.
+    scale: "str | None" = None
 
     def decoded_reference(self) -> List[float]:
         """Precise output in engineering units (via the IR interpreter)."""

@@ -1,0 +1,149 @@
+"""Budget-boundary semantics of ``CPU.run_cycles`` and ``peek_cost``.
+
+The intermittent executor models a dying supply as a cycle budget: an
+instruction commits only if its *worst-case* cost fits in what's left.
+These tests pin the boundary behavior — an exact-fit budget commits,
+one cycle less does not — and the contract between ``peek_cost`` and
+the cycles ``step`` actually charges.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import assemble
+from repro.isa.instructions import BRANCH_CONDS
+from repro.sim import CPU, MemoTable, Multiplier, ReferenceCPU, default_memory
+from repro.sim.cpu import CpuFault
+
+from tests.test_fast_interpreter import (
+    SCRATCH_WORDS,
+    _fresh_pair,
+    _materialize,
+    _random_body,
+)
+
+
+def _cpu(source, **kwargs):
+    return CPU(assemble(source), default_memory(), **kwargs)
+
+
+THREE_ADDS = """
+    ADD R0, R0, #1
+    ADD R0, R0, #1
+    ADD R0, R0, #1
+    HALT
+"""
+
+
+class TestExactFit:
+    def test_exact_budget_commits_all(self):
+        cpu = _cpu(THREE_ADDS)
+        # 3 single-cycle adds + 1-cycle HALT fit exactly in 4 cycles.
+        assert cpu.run_cycles(4) == 4
+        assert cpu.halted
+        assert cpu.regs[0] == 3
+
+    def test_one_less_stops_short(self):
+        cpu = _cpu(THREE_ADDS)
+        assert cpu.run_cycles(3) == 3
+        assert not cpu.halted
+        assert cpu.pc == 3  # all adds retired, HALT did not
+        assert cpu.regs[0] == 3
+
+    def test_zero_budget_runs_nothing(self):
+        cpu = _cpu(THREE_ADDS)
+        assert cpu.run_cycles(0) == 0
+        assert cpu.pc == 0
+        assert not cpu.halted
+
+    def test_multi_cycle_instruction_boundary(self):
+        # A full MUL peeks at 16 cycles: a 15-cycle budget must not
+        # start it, 16 exactly commits it.
+        source = """
+            MOV R0, #7
+            MOV R1, #9
+            MUL R0, R1
+            HALT
+        """
+        cpu = _cpu(source)
+        assert cpu.run_cycles(2) == 2  # the two MOVs
+        assert cpu.peek_cost() == 16
+        assert cpu.run_cycles(15) == 0
+        assert cpu.pc == 2
+        assert cpu.run_cycles(16) == 16
+        assert cpu.pc == 3
+        assert cpu.regs[0] == 63
+
+    def test_budget_resumes_where_it_stopped(self):
+        cpu = _cpu(THREE_ADDS)
+        consumed = 0
+        while not cpu.halted:
+            consumed += cpu.run_cycles(1)
+        assert consumed == 4
+        assert cpu.regs[0] == 3
+
+
+class TestPeekCostContract:
+    def test_peek_is_upper_bound_with_shortcuts(self):
+        # With memoization + zero skipping the actual multiply can take
+        # 1 cycle; peek_cost must still report the worst case (16).
+        source = """
+            MOV R0, #0
+            MOV R1, #9
+            MUL R0, R1
+            HALT
+        """
+        multiplier = Multiplier(memo_table=MemoTable(), zero_skipping=True)
+        cpu = _cpu(source, multiplier=multiplier)
+        cpu.run_cycles(2)
+        assert cpu.peek_cost() == 16
+        assert cpu.step() == 1  # zero-skipped
+        assert cpu.peek_cost() == 1  # HALT
+
+    def test_halted_cpu_peeks_zero(self):
+        cpu = _cpu("HALT")
+        cpu.run()
+        assert cpu.peek_cost() == 0
+        try:
+            cpu.step()
+        except CpuFault:
+            pass
+        else:
+            raise AssertionError("step on a halted CPU must fault")
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(0, 10**9), st.integers(5, 50))
+    def test_peek_bounds_step_on_random_programs(self, seed, size):
+        """peek_cost() >= step()'s charge; equality except for untaken
+        conditional branches (peek reports the taken worst case)."""
+        rng = random.Random(seed)
+        program = _materialize(_random_body(rng, size), rng)
+        data = [rng.randrange(0, 2**32) for _ in range(SCRATCH_WORDS)]
+        fast, ref = _fresh_pair(program, data)
+        for cpu in (fast, ref):
+            for _ in range(len(program) + 5):
+                if cpu.halted:
+                    break
+                op = program.instructions[cpu.pc].op
+                peek = cpu.peek_cost()
+                charged = cpu.step()
+                assert charged <= peek
+                if op not in BRANCH_CONDS:
+                    # Plain multiplier, no hooks: worst case is exact.
+                    assert charged == peek
+        assert fast.stats.as_dict() == ref.stats.as_dict()
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(0, 10**9), st.integers(5, 50), st.integers(1, 25))
+    def test_budget_never_overdrawn(self, seed, size, budget):
+        """Without hook overhead, run_cycles never consumes more than
+        the budget, and stops only when the next peek would overdraw."""
+        rng = random.Random(seed)
+        program = _materialize(_random_body(rng, size), rng)
+        data = [rng.randrange(0, 2**32) for _ in range(SCRATCH_WORDS)]
+        fast, _ = _fresh_pair(program, data)
+        consumed = fast.run_cycles(budget)
+        assert consumed <= budget
+        if not fast.halted:
+            assert consumed + fast.peek_cost() > budget
