@@ -60,9 +60,30 @@ def cmd_run(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.grid:
+        return _bench_grid(args)
     if args.benchmark == "interp":
         return _bench_interp(args)
     return _bench_workload(args)
+
+
+def _bench_grid(args) -> int:
+    """Grid harness: interpreter vs replay engine on the fig10 grid."""
+    import pathlib
+
+    from . import benchmarking
+
+    output = pathlib.Path(args.output) if args.output else None
+    payload = benchmarking.write_grid_bench(
+        path=output, reps=args.reps or 3, scale=args.scale
+    )
+    print(benchmarking.format_grid_bench(payload))
+    print(f"wrote {output or benchmarking.DEFAULT_GRID_OUTPUT}")
+    if not payload["grid"]["identical"]:
+        print("GRID CHECK FAILED: replay results diverged from the interpreter",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _bench_interp(args) -> int:
@@ -151,10 +172,14 @@ def main(argv: Optional[list] = None) -> int:
     bench_parser.add_argument("--invocations", type=int, default=1)
     bench_parser.add_argument("--check", action="store_true",
                               help="interp only: fail on >30%% regression vs BENCH_interp.json")
+    bench_parser.add_argument("--grid", action="store_true",
+                              help="time the fig10 grid (interpreter vs replay "
+                                   "engine) and write BENCH_grid.json; fails if "
+                                   "replay results diverge")
     bench_parser.add_argument("--reps", type=int, default=None,
-                              help="interp only: timing repetitions per config")
+                              help="interp/grid: timing repetitions per config")
     bench_parser.add_argument("--output", default=None,
-                              help="interp only: path for BENCH_interp.json")
+                              help="interp/grid: output path for the JSON payload")
     bench_parser.set_defaults(func=cmd_bench)
 
     args = parser.parse_args(argv)

@@ -17,6 +17,7 @@ rate and fails on a >30% regression against the committed
 from __future__ import annotations
 
 import json
+import os
 import statistics
 import time
 from pathlib import Path
@@ -34,7 +35,14 @@ BENCH_CONFIGS = (
 )
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parents[2] / "BENCH_interp.json"
+DEFAULT_GRID_OUTPUT = Path(__file__).resolve().parents[2] / "BENCH_grid.json"
 REGRESSION_TOLERANCE = 0.30
+
+#: The grid harness times the Figure-10 configuration grid of this
+#: workload (precise + 8-/4-bit anytime builds on Clank, 9 traces x 3
+#: invocations each) with the interpreter and with the replay engine.
+GRID_WORKLOAD = "MatMul"
+GRID_RUNTIME = "clank"
 
 _MACHINE_LOOP_ITERS = 2_000_000
 
@@ -131,6 +139,118 @@ def check_bench(
                 f"(committed {base['normalized_fast']:.4f} - {tolerance:.0%})"
             )
     return failures
+
+
+def _grid_sample_tuples(results) -> List[tuple]:
+    """Flatten BenchmarkResults into comparable per-sample tuples."""
+    return [
+        (r.wall_ms, r.on_ms, r.active_cycles, r.outages, r.skim_taken, r.error)
+        for result in results
+        for r in result.runs
+    ]
+
+
+def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
+    """Time the Figure-10 grid end-to-end: interpreter vs replay engine.
+
+    Both passes run the identical serial grid (``REPRO_JOBS`` and
+    ``REPRO_REPLAY`` are controlled here, overriding the environment).
+    The replay timing includes recording: the commit-log cache is
+    cleared before every rep, so each measurement is a cold
+    record-once/replay-27-samples pass — exactly what a fresh process
+    would pay. Sample results from both passes are compared field by
+    field; ``identical`` in the payload reports the outcome.
+    """
+    from .experiments.common import (
+        ExperimentSetup,
+        _worker_records,
+        calibrate_environment,
+        measure_precise_cycles,
+        run_benchmark_suite,
+    )
+
+    score = machine_score()
+    setup = ExperimentSetup(scale=scale)
+    workload = make_workload(GRID_WORKLOAD, scale)
+    environment = calibrate_environment(measure_precise_cycles(workload), setup)
+    reference = workload.decoded_reference()
+    configs = [("precise", None), (workload.technique, 8), (workload.technique, 4)]
+    samples = len(configs) * setup.trace_count * setup.invocations
+
+    def one_pass():
+        return run_benchmark_suite(
+            workload, configs, GRID_RUNTIME, setup, environment, reference
+        )
+
+    saved = {key: os.environ.pop(key, None) for key in ("REPRO_REPLAY", "REPRO_JOBS")}
+    try:
+        one_pass()  # warm the shared workload/kernel/trace caches
+        interp_times: List[float] = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            interp_results = one_pass()
+            interp_times.append(time.perf_counter() - start)
+
+        os.environ["REPRO_REPLAY"] = "1"
+        replay_times: List[float] = []
+        for _ in range(reps):
+            _worker_records.clear()  # pay the record cost every rep
+            start = time.perf_counter()
+            replay_results = one_pass()
+            replay_times.append(time.perf_counter() - start)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+    identical = _grid_sample_tuples(interp_results) == _grid_sample_tuples(replay_results)
+    interp_s = statistics.median(interp_times)
+    replay_s = statistics.median(replay_times)
+    return {
+        "schema": 1,
+        "machine_ops_per_s": round(score, 1),
+        "reps": reps,
+        "grid": {
+            "workload": GRID_WORKLOAD,
+            "runtime": GRID_RUNTIME,
+            "scale": scale,
+            "configs": [{"mode": mode, "bits": bits} for mode, bits in configs],
+            "samples": samples,
+            "identical": identical,
+            "interp_s": round(interp_s, 4),
+            "replay_s": round(replay_s, 4),
+            "speedup": round(interp_s / replay_s, 3),
+            "interp_samples_per_s": round(samples / interp_s, 2),
+            "replay_samples_per_s": round(samples / replay_s, 2),
+            # Machine-independent: replay samples/s per machine-loop op/s.
+            "normalized_replay": round(samples / replay_s / score, 9),
+        },
+    }
+
+
+def write_grid_bench(
+    path: Optional[Path] = None, reps: int = 3, scale: str = "default"
+) -> dict:
+    path = path or DEFAULT_GRID_OUTPUT
+    payload = run_grid_bench(reps=reps, scale=scale)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def format_grid_bench(payload: dict) -> str:
+    grid = payload["grid"]
+    verdict = "bit-identical" if grid["identical"] else "RESULTS DIVERGED"
+    return (
+        f"{grid['workload']} fig10 grid on {grid['runtime']} "
+        f"({grid['samples']} samples, scale={grid['scale']}, "
+        f"median of {payload['reps']} reps): "
+        f"interpreter {grid['interp_s']:.2f}s, "
+        f"replay {grid['replay_s']:.2f}s (record included) "
+        f"-> {grid['speedup']:.2f}x, {verdict} "
+        f"(normalized {grid['normalized_replay']:.2e})"
+    )
 
 
 def format_bench(payload: dict) -> str:

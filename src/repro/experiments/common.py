@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import statistics
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,6 +36,8 @@ from ..power.capacitor import Capacitor
 from ..power.energy import EnergyModel
 from ..power.harvester import paper_traces
 from ..power.trace import PowerTrace
+from ..runtime.replay_executor import replay_intermittent
+from ..sim.replay import ReplayDiverged, ReplayRecord, record_run
 from ..workloads.base import Workload
 
 #: NVP per-cycle backup energy overhead (fraction).
@@ -152,7 +155,19 @@ def experiment_jobs() -> int:
     try:
         return max(1, int(raw))
     except ValueError:
+        print(
+            f"repro: ignoring invalid REPRO_JOBS={raw!r} "
+            "(want a positive integer); running serially",
+            file=sys.stderr,
+        )
         return 1
+
+
+def experiment_replay() -> bool:
+    """True when ``REPRO_REPLAY=1``: use the record-once/replay-per-trace
+    engine for grid samples, falling back to the interpreter per sample
+    whenever a configuration is not exactly replayable."""
+    return os.environ.get("REPRO_REPLAY", "").strip() == "1"
 
 
 @dataclass(frozen=True)
@@ -185,6 +200,10 @@ class SampleSpec:
 _worker_workloads: Dict[Tuple[str, str], Tuple[Workload, Tuple[float, ...]]] = {}
 _worker_kernels: Dict[Tuple[str, str, str, Optional[int]], AnytimeKernel] = {}
 _worker_traces: Dict[Tuple[int, int, int], List[PowerTrace]] = {}
+#: Commit logs for REPRO_REPLAY=1, one per kernel configuration (the
+#: instruction stream is input-deterministic, so every trace x
+#: invocation sample of a configuration shares the same log).
+_worker_records: Dict[Tuple[str, str, str, Optional[int]], ReplayRecord] = {}
 
 
 def _run_sample(spec: SampleSpec) -> SampleRun:
@@ -215,18 +234,45 @@ def _run_sample(spec: SampleSpec) -> SampleRun:
     energy = EnergyModel(
         backup_overhead=NVP_BACKUP_OVERHEAD if spec.runtime == "nvp" else 0.0
     )
-    run = kernel.run_intermittent(
-        workload.inputs,
-        trace,
-        runtime=spec.runtime,
-        capacitor=Capacitor(
-            capacitance_f=spec.capacitor_f, v_initial=3.0, v_max=3.3
-        ),
-        energy_model=energy,
-        start_tick=spec.invocation * 313,
-        max_wall_ms=spec.max_wall_ms,
-        watchdog_cycles=spec.watchdog_cycles if spec.runtime == "clank" else None,
-    )
+    run = None
+    if experiment_replay():
+        record = _worker_records.get(kkey)
+        if record is None:
+            record = record_run(kernel, workload.inputs)
+            _worker_records[kkey] = record
+        if record.replayable:
+            try:
+                run = replay_intermittent(
+                    kernel,
+                    record,
+                    workload.inputs,
+                    trace,
+                    runtime=spec.runtime,
+                    capacitor=Capacitor(
+                        capacitance_f=spec.capacitor_f, v_initial=3.0, v_max=3.3
+                    ),
+                    energy_model=energy,
+                    start_tick=spec.invocation * 313,
+                    max_wall_ms=spec.max_wall_ms,
+                    watchdog_cycles=(
+                        spec.watchdog_cycles if spec.runtime == "clank" else None
+                    ),
+                )
+            except ReplayDiverged:
+                run = None  # this sample left the log; replay it live
+    if run is None:
+        run = kernel.run_intermittent(
+            workload.inputs,
+            trace,
+            runtime=spec.runtime,
+            capacitor=Capacitor(
+                capacitance_f=spec.capacitor_f, v_initial=3.0, v_max=3.3
+            ),
+            energy_model=energy,
+            start_tick=spec.invocation * 313,
+            max_wall_ms=spec.max_wall_ms,
+            watchdog_cycles=spec.watchdog_cycles if spec.runtime == "clank" else None,
+        )
     if not run.result.completed:
         raise RuntimeError(
             f"{spec.workload_name} [{spec.mode}/{spec.runtime}] did not "
@@ -310,7 +356,13 @@ def run_benchmark(
     jobs = experiment_jobs() if jobs is None else max(1, jobs)
 
     result = BenchmarkResult(workload.name, mode, bits, runtime)
-    if jobs > 1 and workload.scale is not None:
+    if workload.scale is not None:
+        # All rebuildable workloads route through the spec path, serial
+        # or parallel: it shares the per-process kernel/workload/record
+        # caches (and the REPRO_REPLAY engine) with pool workers, and a
+        # sample's result is a deterministic function of its spec either
+        # way. Only ad-hoc workloads (scale=None, not reproducible from
+        # a name) take the legacy inline loop below.
         specs = _sample_specs(workload, mode, bits, runtime, setup, environment, reference)
         result.runs.extend(_map_samples(specs, jobs))
         return result

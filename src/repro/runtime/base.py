@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..sim.cpu import CPU
+from ..sim.replay import ReplayRecord
 from .skim import SkimRegister
 
 
@@ -68,3 +70,71 @@ class IntermittentRuntime(ABC):
         """Power returned: rebuild state, apply skim semantics.
 
         Returns the restore cost in cycles."""
+
+
+class ReplayPolicy:
+    """A runtime's forward-progress policy expressed over log segments.
+
+    The replay twin of :class:`IntermittentRuntime`: the same executor
+    callbacks (``on_tick`` / ``on_outage`` / ``on_restore`` plus a
+    ``run_chunk`` standing in for ``CPU.run_cycles``), but architectural
+    state is a *position* in a recorded commit log
+    (:class:`~repro.sim.replay.ReplayRecord`) instead of a live CPU.
+    Restoring a checkpoint is rewinding the position; executing a chunk
+    is one budget bisect over the log's cost prefix sums. Each runtime
+    module pairs its live runtime with a replay policy subclass.
+    """
+
+    name = "abstract"
+    #: Chunk interval for the executor's inner loop (Clank's watchdog).
+    watchdog_cycles: Optional[int] = None
+
+    def __init__(self, record: ReplayRecord, skim: SkimRegister):
+        self.record = record
+        self.skim = skim
+        self.stats = RuntimeStats()
+        self.cursor = 0
+        #: Furthest stream position ever executed: the store log up to
+        #: here is in memory (re-executed stores rewrite identical
+        #: values, so the NVM image is a function of this watermark).
+        self.max_position = 0
+        #: Position the last restore resumed from (the executor's
+        #: livelock signature: equal positions mean equal state, since
+        #: the stream is deterministic).
+        self.resume_position = 0
+        #: Target consumed from the skim register by the last restore.
+        self.skim_redirect: Optional[int] = None
+
+    @property
+    def halted(self) -> bool:
+        return self.cursor >= self.record.length
+
+    def _cross(self, start: int, end: int) -> None:
+        """Apply skim arm events of fast-forwarded positions [start, end)."""
+        count, target = self.record.skim_events_in(start, end)
+        if count:
+            self.skim.arm_from_log(target, count)
+
+    def run_chunk(self, budget: int) -> int:
+        """Advance the cursor by up to ``budget`` cycles; returns cycles
+        consumed. The default covers runtimes without mid-stream
+        events (NVP, Hibernus); Clank overrides to insert WAR
+        checkpoints."""
+        record = self.record
+        cursor = self.cursor
+        j, cost = record.advance(cursor, record.length, budget)
+        if j != cursor:
+            self._cross(cursor, j)
+            self.cursor = j
+            if j > self.max_position:
+                self.max_position = j
+        return cost
+
+    def on_tick(self, cycles_executed: int) -> int:
+        return 0
+
+    def on_outage(self) -> None:
+        pass
+
+    def on_restore(self) -> int:
+        raise NotImplementedError

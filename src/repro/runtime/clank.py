@@ -19,7 +19,8 @@ from __future__ import annotations
 from typing import Optional, Set
 
 from ..sim.cpu import CPU
-from .base import IntermittentRuntime
+from ..sim.replay import ReplayRecord
+from .base import IntermittentRuntime, ReplayPolicy
 from .checkpoint import Checkpoint
 from .skim import SkimRegister
 
@@ -116,4 +117,117 @@ class ClankRuntime(IntermittentRuntime):
         if self.skim.armed:
             # Skim point: decouple restore PC from checkpoint PC.
             self.cpu.pc = self.skim.consume()
+        return self.restore_cycles
+
+
+class ClankReplayPolicy(ReplayPolicy):
+    """Clank's WAR tracking and watchdog, replayed over log segments.
+
+    A checkpoint is a stream position. ``ReplayRecord.next_war`` gives
+    the position of the first store after a fresh tracking start that
+    hits a read-first byte — exactly where the live runtime's store
+    hook checkpoints before the store commits — so a chunk advances in
+    whole WAR-free segments (one bisect each) and pays the checkpoint
+    cost when it crosses that store. Because every checkpoint lands
+    *before* the violating store, every segment a restore rewinds into
+    is idempotent, and re-execution consumes the same recorded
+    positions and costs as the first pass.
+    """
+
+    name = "clank"
+
+    def __init__(
+        self,
+        record: ReplayRecord,
+        skim: SkimRegister,
+        checkpoint_cycles: int = DEFAULT_CHECKPOINT_CYCLES,
+        restore_cycles: int = DEFAULT_RESTORE_CYCLES,
+        watchdog_cycles: int = DEFAULT_WATCHDOG_CYCLES,
+    ):
+        super().__init__(record, skim)
+        self.checkpoint_cycles = checkpoint_cycles
+        self.restore_cycles = restore_cycles
+        self.watchdog_cycles = watchdog_cycles
+        self.checkpoint_pos = 0
+        self._cycles_since_checkpoint = 0
+        #: A WAR checkpoint zeroed the counter mid-chunk; ``on_tick``
+        #: then adds the whole chunk (the live runtime does exactly
+        #: that: ``_take_checkpoint`` clears the counter, and the
+        #: executor's ``on_tick(ran)`` adds all of ``ran`` afterwards,
+        #: pre-checkpoint cycles included).
+        self._war_in_chunk = False
+
+    def run_chunk(self, budget: int) -> int:
+        record = self.record
+        cum = record.cum_cost
+        n = record.length
+        cursor = self.cursor
+        consumed = 0
+        while cursor < n:
+            remaining = budget - consumed
+            if remaining <= 0:
+                # A WAR checkpoint may overrun the budget (the live
+                # path charges it through the store hook, past the
+                # commit check); nothing further fits this chunk.
+                break
+            # Every instruction costs at least one cycle, so this chunk
+            # cannot advance past ``limit``; the WAR scan stops there.
+            limit = cursor + remaining + 1
+            if limit > n:
+                limit = n
+            war = record.next_war_before(self.checkpoint_pos, limit)
+            stop = war if war < limit else limit
+            if cursor < stop:
+                j, cost = record.advance(cursor, stop, remaining)
+                consumed += cost
+                if j != cursor:
+                    self._cross(cursor, j)
+                    cursor = j
+                if j < stop:
+                    break  # budget exhausted inside the segment
+            if cursor >= n or cursor != war:
+                break  # halted, or only the horizon stopped the advance
+            # The WAR-violating store at ``cursor``: commits only if its
+            # worst-case cost fits, then carries the checkpoint cost on
+            # top (charged through the store hook in the live runtime).
+            if consumed + record.peek_costs[record.pcs[cursor]] > budget:
+                break
+            consumed += (cum[cursor + 1] - cum[cursor]) + self.checkpoint_cycles
+            self.stats.war_violations += 1
+            self.stats.checkpoints += 1
+            self.stats.checkpoint_cycles += self.checkpoint_cycles
+            self.checkpoint_pos = cursor
+            self._war_in_chunk = True
+            cursor += 1
+        self.cursor = cursor
+        if cursor > self.max_position:
+            self.max_position = cursor
+        return consumed
+
+    def on_tick(self, cycles_executed: int) -> int:
+        if self._war_in_chunk:
+            self._war_in_chunk = False
+            self._cycles_since_checkpoint = cycles_executed
+        else:
+            self._cycles_since_checkpoint += cycles_executed
+        if self._cycles_since_checkpoint >= self.watchdog_cycles:
+            self.stats.watchdog_checkpoints += 1
+            self.stats.checkpoints += 1
+            self.stats.checkpoint_cycles += self.checkpoint_cycles
+            self.checkpoint_pos = self.cursor
+            self._cycles_since_checkpoint = 0
+            return self.checkpoint_cycles
+        return 0
+
+    def on_outage(self) -> None:
+        self._cycles_since_checkpoint = 0
+        self._war_in_chunk = False
+
+    def on_restore(self) -> int:
+        self.stats.restores += 1
+        self.stats.restore_cycles += self.restore_cycles
+        self.cursor = self.checkpoint_pos
+        self.resume_position = self.checkpoint_pos
+        if self.skim.armed:
+            self.skim_redirect = self.skim.consume()
         return self.restore_cycles

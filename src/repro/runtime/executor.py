@@ -50,7 +50,13 @@ class IntermittentExecutor:
         #: True if the core loses register state on outage (Clank-style).
         self.volatile_core = runtime.name != "nvp"
 
-    def run(self, max_wall_ms: int = 10_000_000) -> RunResult:
+    def run(self, max_wall_ms: int = 10_000_000, carry_overhead: int = 0) -> RunResult:
+        """Run to halt, timeout or exhaustion.
+
+        ``carry_overhead`` pre-loads the pending-overhead account: the
+        replay engine's skim handoff uses it to charge the restore cost
+        of the restore that consumed the skim register (which happened
+        on the replay side, before this executor took over)."""
         cpu = self.cpu
         supply = self.supply
         runtime = self.runtime
@@ -61,7 +67,7 @@ class IntermittentExecutor:
         start_off = supply.total_off_ms
         start_outages = supply.outages
         skim_taken = False
-        pending_overhead = 0
+        pending_overhead = carry_overhead
         timed_out = False
         stalled_restores = 0
         last_restore_signature = None

@@ -25,7 +25,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..sim.cpu import CPU
-from .base import IntermittentRuntime
+from ..sim.replay import ReplayDiverged, ReplayRecord
+from .base import IntermittentRuntime, ReplayPolicy
 from .checkpoint import Checkpoint
 from .skim import SkimRegister
 
@@ -83,4 +84,63 @@ class HibernusRuntime(IntermittentRuntime):
         self.checkpoint.apply_to(self.cpu)
         if self.skim.armed:
             self.cpu.pc = self.skim.consume()
+        return self.restore_cycles
+
+
+class HibernusReplayPolicy(ReplayPolicy):
+    """Hibernus replayed over the log: one snapshot position per cycle.
+
+    The just-in-time snapshot normally lands exactly at the outage cut
+    (an energy-limited tick always ends in a brown-out), so restores
+    rewind zero or few positions. When an outage arrives *without* a
+    snapshot that power cycle (a brown-out the voltage monitor never
+    flagged), the live runtime rewinds into a segment it re-executes
+    against already-updated memory — Hibernus has no WAR protection —
+    and the recorded stream only stays truthful if that segment is
+    idempotent. The restore checks exactly that and raises
+    :class:`~repro.sim.replay.ReplayDiverged` otherwise, sending the
+    sample to live interpretation."""
+
+    name = "hibernus"
+
+    def __init__(
+        self,
+        record: ReplayRecord,
+        skim: SkimRegister,
+        snapshot_cycles: int = DEFAULT_SNAPSHOT_CYCLES,
+        restore_cycles: int = DEFAULT_RESTORE_CYCLES,
+    ):
+        super().__init__(record, skim)
+        self.snapshot_cycles = snapshot_cycles
+        self.restore_cycles = restore_cycles
+        self.checkpoint_pos = 0
+        self._armed_this_cycle = False
+
+    def on_low_voltage(self) -> int:
+        if self._armed_this_cycle:
+            return 0
+        self._armed_this_cycle = True
+        self.checkpoint_pos = self.cursor
+        self.stats.checkpoints += 1
+        self.stats.checkpoint_cycles += self.snapshot_cycles
+        return self.snapshot_cycles
+
+    def on_outage(self) -> None:
+        self._armed_this_cycle = False
+
+    def on_restore(self) -> int:
+        self.stats.restores += 1
+        self.stats.restore_cycles += self.restore_cycles
+        cp = self.checkpoint_pos
+        if self.max_position > cp and not self.record.segment_idempotent(
+            cp, self.max_position
+        ):
+            raise ReplayDiverged(
+                f"hibernus rewind into non-idempotent segment "
+                f"[{cp}, {self.max_position})"
+            )
+        self.cursor = cp
+        self.resume_position = cp
+        if self.skim.armed:
+            self.skim_redirect = self.skim.consume()
         return self.restore_cycles

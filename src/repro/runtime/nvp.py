@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .base import IntermittentRuntime
+from ..sim.replay import ReplayRecord
+from .base import IntermittentRuntime, ReplayPolicy
 from .skim import SkimRegister
 
 #: NVP wake-up latency in cycles. NV processors restore orders of
@@ -55,4 +56,32 @@ class NVPRuntime(IntermittentRuntime):
         if self.skim.armed:
             self.cpu.pc = self.skim.consume()
             self.cpu.halted = False
+        return self.restore_cycles
+
+
+class NVPReplayPolicy(ReplayPolicy):
+    """NVP replayed over the log: resume in place, never rewind.
+
+    Nothing architectural is lost on an outage, so the cursor simply
+    stays put and the stream is consumed strictly in order — the
+    cheapest possible replay (one budget bisect per chunk, zero
+    re-execution)."""
+
+    name = "nvp"
+
+    def __init__(
+        self,
+        record: ReplayRecord,
+        skim: SkimRegister,
+        restore_cycles: int = DEFAULT_RESTORE_CYCLES,
+    ):
+        super().__init__(record, skim)
+        self.restore_cycles = restore_cycles
+
+    def on_restore(self) -> int:
+        self.stats.restores += 1
+        self.stats.restore_cycles += self.restore_cycles
+        self.resume_position = self.cursor
+        if self.skim.armed:
+            self.skim_redirect = self.skim.consume()
         return self.restore_cycles

@@ -1,0 +1,285 @@
+"""The replay executor: commit log x power supply x replay policy.
+
+The replay twin of :class:`repro.runtime.executor.IntermittentExecutor`.
+It drives the *same* control flow — charge, restore, tick budgeting,
+pending-overhead carry, watchdog chunking, the Hibernus snapshot
+reserve, outage bookkeeping — but against a recorded commit log
+(:class:`~repro.sim.replay.ReplayRecord`) instead of a live CPU:
+executing a chunk is a bisect over cost prefix sums, restoring a
+checkpoint is rewinding a stream position. Because the per-tick cycle
+consumption is reproduced exactly, the supply sees the identical
+energy trajectory and the run produces the identical ``RunResult``
+timing fields, outage count and outputs as the interpreter path.
+
+Two situations leave the log:
+
+* **Skim handoff** — a restore consumes an armed skim register. The
+  post-skim suffix (checkpoint registers + skim-target PC) was never
+  recorded, so the executor reconstructs the concrete CPU + memory
+  state at the cut from the nearest keyframe and store log, and hands
+  the *same* supply and skim register to a live
+  :class:`IntermittentExecutor` for the remainder.
+* **Divergence** — a policy detects the log cannot stay truthful
+  (Hibernus rewinding into a non-idempotent segment) and raises
+  :class:`~repro.sim.replay.ReplayDiverged`; the caller falls back to
+  the interpreter path for the whole sample.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.anytime import IntermittentRun
+from ..power.capacitor import Capacitor
+from ..power.energy import EnergyModel
+from ..power.supply import PowerSupply
+from ..power.trace import PowerTrace
+from ..sim.replay import ReplayRecord
+from .checkpoint import Checkpoint
+from .clank import ClankRuntime, ClankReplayPolicy
+from .executor import IntermittentExecutor, RunResult
+from .hibernus import HibernusRuntime, HibernusReplayPolicy
+from .nvp import NVPRuntime, NVPReplayPolicy
+from .base import ReplayPolicy
+from .skim import SkimRegister
+
+#: Replay handles exactly the runtimes the live path knows.
+REPLAYABLE_RUNTIMES = ("clank", "nvp", "hibernus")
+
+_LIVELOCK_MESSAGE = (
+    "forward-progress livelock: 64 consecutive "
+    "restores resumed from the same state; no "
+    "progress survives the power cycles. Enlarge "
+    "the storage capacitor or shorten the "
+    "runtime's watchdog/checkpoint period."
+)
+
+
+class ReplayExecutor:
+    """Runs one commit log under a power supply with a replay policy."""
+
+    def __init__(
+        self,
+        record: ReplayRecord,
+        supply: PowerSupply,
+        policy: ReplayPolicy,
+        skim: SkimRegister,
+    ):
+        self.record = record
+        self.supply = supply
+        self.policy = policy
+        self.skim = skim
+        #: Set when a restore consumed an armed skim register:
+        #: (cut position, skim target, pending restore overhead).
+        self.skim_cut: Optional[tuple] = None
+        self.timed_out = False
+
+    def run(self, max_wall_ms: int = 10_000_000) -> None:
+        """Consume the log until halt, timeout or skim cut.
+
+        Mirrors ``IntermittentExecutor.run`` statement for statement;
+        every divergence from that loop is a correctness bug (the
+        differential suite in ``tests/test_replay_engine.py`` checks
+        the full experiment grid)."""
+        supply = self.supply
+        policy = self.policy
+        skim = self.skim
+
+        start_tick = supply.tick
+        pending_overhead = 0
+        stalled_restores = 0
+        last_restore_signature = None
+        jit_snapshot = getattr(policy, "on_low_voltage", None)
+        interval = policy.watchdog_cycles
+
+        while not policy.halted:
+            if supply.tick - start_tick > max_wall_ms:
+                self.timed_out = True
+                break
+
+            if not supply.on:
+                supply.charge_until_on()
+                armed_before = skim.armed
+                pending_overhead = policy.on_restore()
+                if armed_before and not skim.armed:
+                    self.skim_cut = (
+                        policy.resume_position,
+                        policy.skim_redirect,
+                        pending_overhead,
+                    )
+                    return
+                # Forward-progress guard, keyed on the resume position:
+                # the stream is deterministic, so equal positions mean
+                # the identical architectural state the live executor
+                # fingerprints with (pc, registers).
+                signature = policy.resume_position
+                if signature == last_restore_signature:
+                    stalled_restores += 1
+                    if stalled_restores >= 64:
+                        raise RuntimeError(_LIVELOCK_MESSAGE)
+                else:
+                    stalled_restores = 0
+                    last_restore_signature = signature
+
+            budget = supply.begin_tick()
+            used = 0
+            if pending_overhead:
+                paid = min(pending_overhead, budget)
+                pending_overhead -= paid
+                used = paid
+
+            reserved = 0
+            if jit_snapshot is not None and supply.tick_energy_limited:
+                reserved = min(policy.snapshot_cycles, budget - used)
+                budget -= reserved
+            while pending_overhead == 0 and not policy.halted and used < budget:
+                chunk = budget - used
+                if interval:
+                    chunk = min(chunk, interval)
+                ran = policy.run_chunk(chunk)
+                used += ran
+                overhead = policy.on_tick(ran)
+                if overhead:
+                    paid = min(overhead, budget - used)
+                    used += paid
+                    pending_overhead = overhead - paid
+                if ran == 0:
+                    break
+            if reserved and not policy.halted:
+                used += min(jit_snapshot(), reserved)
+            supply.consume_cycles(used)
+
+            if not supply.finish_tick():
+                pending_overhead = 0
+                policy.on_outage()
+                if policy.halted:
+                    break
+
+
+def _make_policy(
+    runtime: str,
+    record: ReplayRecord,
+    skim: SkimRegister,
+    watchdog_cycles: Optional[int],
+) -> ReplayPolicy:
+    if runtime == "clank":
+        kwargs = {}
+        if watchdog_cycles is not None:
+            kwargs["watchdog_cycles"] = watchdog_cycles
+        return ClankReplayPolicy(record, skim, **kwargs)
+    if runtime == "nvp":
+        return NVPReplayPolicy(record, skim)
+    if runtime == "hibernus":
+        return HibernusReplayPolicy(record, skim)
+    raise ValueError(
+        f"unknown runtime {runtime!r} (want 'clank', 'nvp' or 'hibernus')"
+    )
+
+
+def _make_handoff_runtime(
+    runtime: str, skim: SkimRegister, watchdog_cycles: Optional[int]
+):
+    if runtime == "clank":
+        kwargs = {"skim": skim}
+        if watchdog_cycles is not None:
+            kwargs["watchdog_cycles"] = watchdog_cycles
+        return ClankRuntime(**kwargs)
+    if runtime == "nvp":
+        return NVPRuntime(skim=skim)
+    return HibernusRuntime(skim=skim)
+
+
+def _merge_stats(into, other) -> None:
+    into.checkpoints += other.checkpoints
+    into.checkpoint_cycles += other.checkpoint_cycles
+    into.restores += other.restores
+    into.restore_cycles += other.restore_cycles
+    into.war_violations += other.war_violations
+    into.watchdog_checkpoints += other.watchdog_checkpoints
+    into.extra.update(other.extra)
+
+
+def replay_intermittent(
+    kernel,
+    record: ReplayRecord,
+    inputs,
+    trace: PowerTrace,
+    runtime: str = "clank",
+    capacitor: Optional[Capacitor] = None,
+    energy_model: Optional[EnergyModel] = None,
+    start_tick: int = 0,
+    max_wall_ms: int = 10_000_000,
+    watchdog_cycles: Optional[int] = None,
+) -> IntermittentRun:
+    """Run one intermittent sample against the commit log.
+
+    Drop-in for :meth:`AnytimeKernel.run_intermittent` with identical
+    results; raises :class:`~repro.sim.replay.ReplayDiverged` when the
+    log cannot reproduce this sample exactly (caller replays live).
+    """
+    skim = SkimRegister()
+    policy = _make_policy(runtime, record, skim, watchdog_cycles)
+    supply = PowerSupply(
+        trace,
+        capacitor or Capacitor(),
+        energy_model or EnergyModel(),
+        start_tick=start_tick,
+    )
+    executor = ReplayExecutor(record, supply, policy, skim)
+    executor.run(max_wall_ms=max_wall_ms)
+
+    if executor.skim_cut is None:
+        completed = policy.halted
+        if completed:
+            outputs = {k: list(v) for k, v in record.final_outputs.items()}
+        else:
+            watermark = policy.max_position
+            cpu = record.materialize_cpu(kernel, inputs, watermark, watermark)
+            outputs = kernel.read_outputs(cpu)
+        result = RunResult(
+            completed=completed,
+            skim_taken=False,
+            timed_out=executor.timed_out,
+            wall_ms=supply.tick - start_tick,
+            on_ms=supply.total_on_ms,
+            off_ms=supply.total_off_ms,
+            active_cycles=supply.total_cycles,
+            outages=supply.outages,
+            runtime_stats=policy.stats,
+        )
+        return IntermittentRun(outputs=outputs, result=result)
+
+    # Skim handoff: rebuild the concrete state at the cut and run the
+    # rest live. Memory reflects the furthest position ever executed
+    # (re-executed stores rewrite identical values); the registers are
+    # the checkpoint's, and the PC jumps to the consumed skim target.
+    cut, target, pending = executor.skim_cut
+    cpu = record.materialize_cpu(kernel, inputs, cut, policy.max_position)
+    checkpoint = Checkpoint.from_cpu(cpu)
+    cpu.pc = target
+    cpu.halted = False
+    live_runtime = _make_handoff_runtime(runtime, skim, watchdog_cycles)
+    live = IntermittentExecutor(cpu, supply, live_runtime)
+    if hasattr(live_runtime, "checkpoint"):
+        # The live runtime's entry checkpoint must be the *pre-skim*
+        # checkpoint: a skim jump does not move the backup location, so
+        # an outage before the next checkpoint rewinds behind the skim
+        # target (exactly what the live path does).
+        live_runtime.checkpoint = checkpoint
+    elapsed = supply.tick - start_tick
+    handoff = live.run(
+        max_wall_ms=max_wall_ms - elapsed, carry_overhead=pending
+    )
+    _merge_stats(policy.stats, handoff.runtime_stats)
+    result = RunResult(
+        completed=handoff.completed,
+        skim_taken=True,
+        timed_out=handoff.timed_out,
+        wall_ms=supply.tick - start_tick,
+        on_ms=supply.total_on_ms,
+        off_ms=supply.total_off_ms,
+        active_cycles=supply.total_cycles,
+        outages=supply.outages,
+        runtime_stats=policy.stats,
+    )
+    return IntermittentRun(outputs=kernel.read_outputs(cpu), result=result)

@@ -40,6 +40,18 @@ class SkimRegister:
         self.quality_level += 1
         self.set_count += 1
 
+    def arm_from_log(self, target: int, count: int) -> None:
+        """Apply ``count`` consecutive recorded arm events ending at
+        ``target`` in O(1) — equivalent to that many :meth:`set` calls,
+        of which only the last target persists while every one raises
+        the quality level. The replay engine uses this when a
+        fast-forwarded log segment crosses several ``SKM`` retires."""
+        if count <= 0:
+            return
+        self._target = target
+        self.quality_level += count
+        self.set_count += count
+
     @property
     def armed(self) -> bool:
         return (

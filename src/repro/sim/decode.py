@@ -146,8 +146,9 @@ def bind_handlers(cpu) -> List[Callable[[], int]]:
     # whose address falls inside it bypass Memory's region walk and hit
     # the bytearray directly. Anything else — other regions, device
     # regions, unmapped addresses — falls back to the Memory methods.
-    # region0.data is re-read on every access because clear() /
-    # restore_volatile() rebind it.
+    # region0.data is re-read on every access so a handler never caches
+    # a buffer Memory might replace (clear() / restore_volatile() now
+    # mutate in place, but external code may still assign region.data).
     region0 = memory.regions[0] if memory.regions else None
     if region0 is not None and region0.device is None:
         r0_base = region0.base

@@ -34,6 +34,19 @@ class MemoryError_(Exception):
     """Raised on out-of-range or misaligned accesses."""
 
 
+#: Shared all-zero blocks for Region.clear(), keyed by size. A handful
+#: of distinct region sizes exist per process, so this costs one block
+#: per size while letting clear() be a single memcpy-style slice fill.
+_ZERO_BLOCKS: Dict[int, bytes] = {}
+
+
+def _zero_block(size: int) -> bytes:
+    block = _ZERO_BLOCKS.get(size)
+    if block is None:
+        block = _ZERO_BLOCKS[size] = bytes(size)
+    return block
+
+
 class Region:
     """One contiguous memory region."""
 
@@ -53,7 +66,10 @@ class Region:
         return self.base <= addr and addr + length <= self.base + self.size
 
     def clear(self) -> None:
-        self.data = bytearray(self.size)
+        # Zero in place: decoded handlers and bulk helpers may hold a
+        # reference to ``data``, and an outage must wipe the bytes they
+        # see, not swap in a fresh buffer behind their backs.
+        self.data[:] = _zero_block(self.size)
 
 
 class Memory:
@@ -170,7 +186,7 @@ class Memory:
     def restore_volatile(self, snap: Dict[str, bytes]) -> None:
         for name, data in snap.items():
             region = self._by_name[name]
-            region.data = bytearray(data)
+            region.data[:] = data
 
 
 def default_memory() -> Memory:

@@ -80,6 +80,93 @@ class TestRunBenchmark:
         assert 0 < first < total
 
 
+class TestExperimentJobs:
+    def test_unset_means_serial(self, monkeypatch):
+        from repro.experiments.common import experiment_jobs
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert experiment_jobs() == 1
+
+    def test_valid_value_parsed(self, monkeypatch):
+        from repro.experiments.common import experiment_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert experiment_jobs() == 4
+
+    def test_zero_clamped_to_serial(self, monkeypatch):
+        from repro.experiments.common import experiment_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert experiment_jobs() == 1
+
+    def test_invalid_value_warns_and_runs_serial(self, monkeypatch, capsys):
+        from repro.experiments.common import experiment_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        assert experiment_jobs() == 1
+        err = capsys.readouterr().err
+        assert "invalid REPRO_JOBS" in err
+        assert "'banana'" in err
+        assert "running serially" in err
+
+
+class TestWorkerCacheStatelessness:
+    """Regression: cached kernels/workloads must not leak state between
+    samples — the same spec must produce bit-identical SampleRuns whether
+    it hits warm caches or a fresh (worker-process-like) cold start."""
+
+    @staticmethod
+    def _spec(runtime="clank", mode="swv", bits=8):
+        from repro.experiments.common import SampleSpec
+
+        workload = make_workload("MatAdd", "tiny")
+        env = calibrate_environment(measure_precise_cycles(workload), TINY)
+        return SampleSpec(
+            workload_name="MatAdd",
+            scale="tiny",
+            mode=mode,
+            bits=bits,
+            runtime=runtime,
+            trace_index=1,
+            invocation=0,
+            capacitor_f=env.capacitor_f,
+            watchdog_cycles=env.watchdog_cycles,
+            trace_count=TINY.trace_count,
+            trace_duration_ms=TINY.trace_duration_ms,
+            trace_seed=TINY.trace_seed,
+            max_wall_ms=TINY.max_wall_ms,
+        )
+
+    @staticmethod
+    def _clear_caches():
+        from repro.experiments import common
+
+        common._worker_workloads.clear()
+        common._worker_kernels.clear()
+        common._worker_traces.clear()
+        common._worker_records.clear()
+
+    @pytest.mark.parametrize("replay", [False, True])
+    def test_warm_cache_matches_cold_start(self, monkeypatch, replay):
+        from repro.experiments.common import _run_sample
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        if replay:
+            monkeypatch.setenv("REPRO_REPLAY", "1")
+        else:
+            monkeypatch.delenv("REPRO_REPLAY", raising=False)
+        spec = self._spec()
+
+        self._clear_caches()
+        cold = _run_sample(spec)
+        warm = _run_sample(spec)  # second in-process run: all caches hot
+        assert warm == cold
+
+        self._clear_caches()  # emulate a fresh worker process
+        fresh = _run_sample(spec)
+        assert fresh == cold
+
+
 class TestExperimentModules:
     def test_table1_tiny(self):
         result = table1.run(TINY)

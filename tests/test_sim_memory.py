@@ -108,6 +108,36 @@ class TestVolatility:
         assert mem.region("nvm").volatile is False
         assert mem.region("sram").volatile is True
 
+    def test_clear_preserves_buffer_identity(self):
+        """clear() must zero in place: decoded handlers cache ``data``,
+        so swapping in a fresh bytearray would desynchronize them."""
+        region = Region("scratch", 0, 64, volatile=True)
+        buffer = region.data
+        region.data[0] = 0xAB
+        region.clear()
+        assert region.data is buffer
+        assert not any(buffer)
+
+    def test_power_loss_preserves_buffer_identity(self):
+        mem = default_memory()
+        sram = mem.region("sram")
+        buffer = sram.data
+        mem.store_word(SRAM_BASE + 8, 0xFFFF)
+        mem.power_loss()
+        assert sram.data is buffer
+        assert mem.load_word(SRAM_BASE + 8) == 0
+
+    def test_restore_volatile_preserves_buffer_identity(self):
+        mem = default_memory()
+        sram = mem.region("sram")
+        buffer = sram.data
+        mem.store_word(SRAM_BASE, 7)
+        snap = mem.snapshot_volatile()
+        mem.power_loss()
+        mem.restore_volatile(snap)
+        assert sram.data is buffer
+        assert mem.load_word(SRAM_BASE) == 7
+
 
 class TestMemoryProperties:
     @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 1000))
