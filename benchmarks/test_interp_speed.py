@@ -1,15 +1,23 @@
 """Speed smoke: the pre-decoded interpreter must stay fast.
 
-Two gates, both machine-independent:
+Three gates, all machine-independent:
 
 * the fast CPU is at least 4x the reference interpreter on the MatMul
   precise build (the PR that introduced pre-decoding measured 5.5x;
-  4x leaves slack for noisy shared runners), and
+  4x leaves slack for noisy shared runners),
 * the normalized rate has not regressed >30% against the committed
-  ``BENCH_interp.json`` (same check as ``python -m repro bench --check``).
+  ``BENCH_interp.json`` (same check as ``python -m repro bench --check``),
+* enabling ``REPRO_TRACE`` costs the interpreter's continuous-power hot
+  loop under 2%: no observability code runs per instruction, and a
+  continuous run crosses zero power-cycle events.
 """
 
+import time
+
 from repro import benchmarking
+from repro.core import AnytimeConfig, AnytimeKernel
+from repro.observability import TRACER
+from repro.workloads import make_workload
 
 
 def test_fast_interpreter_speedup():
@@ -24,3 +32,45 @@ def test_fast_interpreter_speedup():
 def test_no_regression_vs_committed_baseline():
     failures = benchmarking.check_bench(reps=3)
     assert not failures, "\n".join(failures)
+
+
+def test_trace_enabled_overhead_under_2_percent(tmp_path):
+    """Tracing must be free for the interpreter's dispatch loop.
+
+    Events originate at power-cycle granularity, so a continuous run
+    emits nothing; the only candidate cost is the ``TRACER.enabled``
+    flag existing at all. Interleave enabled/disabled timings and
+    compare best-case rates (min is the noise-robust statistic for
+    "how fast can this loop go")."""
+    workload = make_workload("MatMul", "default")
+    kernel = AnytimeKernel(
+        workload.kernel, AnytimeConfig(mode="precise")
+    )
+
+    def run_once() -> float:
+        cpu = kernel.make_cpu(workload.inputs)
+        start = time.perf_counter()
+        cpu.run()
+        return time.perf_counter() - start
+
+    run_once()  # warm caches before timing anything
+    disabled_times, enabled_times = [], []
+    trace_path = str(tmp_path / "overhead.jsonl")
+    try:
+        for _ in range(5):
+            TRACER.disable()
+            disabled_times.append(run_once())
+            TRACER.enable(trace_path)
+            enabled_times.append(run_once())
+            assert TRACER.emitted == 0, (
+                "continuous-power run must not emit trace events"
+            )
+    finally:
+        TRACER.disable()
+
+    overhead = min(enabled_times) / min(disabled_times) - 1.0
+    assert overhead < 0.02, (
+        f"tracing-enabled interpreter is {overhead:.1%} slower "
+        f"(enabled {min(enabled_times):.4f}s vs "
+        f"disabled {min(disabled_times):.4f}s)"
+    )

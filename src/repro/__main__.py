@@ -6,6 +6,10 @@ Subcommands::
     python -m repro run fig10            # run one experiment, print its table
     python -m repro run all              # run everything (slow)
     python -m repro bench Conv2d         # quick speedup check for one benchmark
+    python -m repro trace summarize t.jsonl   # report on a REPRO_TRACE file
+
+``run`` also writes a provenance manifest when ``--manifest <path>`` is
+passed or ``REPRO_MANIFEST=<path>`` is set (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -38,24 +42,55 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     from .experiments import EXPERIMENTS, ExperimentSetup
+    from .observability.manifest import (
+        begin_manifest, finish_manifest, manifest_path_from_env,
+    )
 
     setup = ExperimentSetup(
         scale=args.scale, trace_count=args.traces, invocations=args.invocations
     )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        if name not in EXPERIMENTS:
-            print(f"unknown experiment {name!r}; try 'python -m repro list'",
-                  file=sys.stderr)
-            return 2
-        print(f"== {name} ==")
-        runner = EXPERIMENTS[name]
-        try:
-            result = runner(setup)
-        except TypeError:
-            result = runner()
-        _print_result(name, result)
-        print()
+    manifest_path = args.manifest or manifest_path_from_env()
+    if manifest_path:
+        begin_manifest(command=f"run {args.experiment}")
+    try:
+        for name in names:
+            if name not in EXPERIMENTS:
+                print(f"unknown experiment {name!r}; try 'python -m repro list'",
+                      file=sys.stderr)
+                return 2
+            print(f"== {name} ==")
+            runner = EXPERIMENTS[name]
+            try:
+                result = runner(setup)
+            except TypeError:
+                result = runner()
+            _print_result(name, result)
+            print()
+    finally:
+        if manifest_path:
+            finish_manifest(manifest_path)
+            print(f"wrote manifest {manifest_path}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import os
+
+    from .observability.summarize import format_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.file)
+    except OSError as exc:
+        print(f"cannot read trace {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(format_summary(summary, limit=args.limit))
+    except BrokenPipeError:
+        # Piped into `head` and the reader closed early: that is fine,
+        # but Python would print a noisy traceback at shutdown unless
+        # stdout is parked on devnull first.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -157,7 +192,23 @@ def main(argv: Optional[list] = None) -> int:
     run_parser.add_argument("--scale", default="default", choices=("tiny", "default", "paper"))
     run_parser.add_argument("--traces", type=int, default=3)
     run_parser.add_argument("--invocations", type=int, default=1)
+    run_parser.add_argument("--manifest", default=None,
+                            help="write a run manifest (provenance + metric "
+                                 "rollups) to this path; REPRO_MANIFEST works too")
     run_parser.set_defaults(func=cmd_run)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect a REPRO_TRACE event file"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    summarize_parser = trace_sub.add_parser(
+        "summarize",
+        help="report event counts, fallback reasons and per-sample timelines",
+    )
+    summarize_parser.add_argument("file")
+    summarize_parser.add_argument("--limit", type=int, default=12,
+                                  help="timelines to print (default 12)")
+    summarize_parser.set_defaults(func=cmd_trace)
 
     bench_parser = subparsers.add_parser(
         "bench",

@@ -23,6 +23,7 @@ from ..compiler.codegen import CompiledKernel, compile_kernel
 from ..compiler.ir import Kernel, evaluate
 from ..compiler.passes.swp import apply_swp
 from ..compiler.passes.swv import apply_swv
+from ..observability.tracer import TRACER
 from ..power.capacitor import Capacitor
 from ..power.energy import EnergyModel
 from ..power.supply import PowerSupply
@@ -194,6 +195,16 @@ class AnytimeKernel:
             )
         executor = IntermittentExecutor(cpu, supply, policy)
         result = executor.run(max_wall_ms=max_wall_ms)
+        if TRACER.enabled and self.config.memoization:
+            # One aggregate event per sample: the memo table counts its
+            # own hits/misses in the multiply path, so the hot loop pays
+            # nothing extra for this.
+            table = cpu.multiplier.memo
+            if table is not None:
+                TRACER.emit(
+                    "memo_stats", hits=table.hits, misses=table.misses,
+                    hit_rate=round(table.hit_rate, 4),
+                )
         return IntermittentRun(outputs=self.read_outputs(cpu), result=result)
 
 

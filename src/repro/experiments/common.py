@@ -24,6 +24,7 @@ bit-identical to the pre-parallel harness.
 
 from __future__ import annotations
 
+import json
 import os
 import statistics
 import sys
@@ -32,6 +33,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.anytime import AnytimeConfig, AnytimeKernel
 from ..core.quality import nrmse
+from ..observability.manifest import record_result
+from ..observability.metrics import METRICS_ENV, Metrics
+from ..observability.tracer import TRACER
 from ..power.capacitor import Capacitor
 from ..power.energy import EnergyModel
 from ..power.harvester import paper_traces
@@ -102,7 +106,13 @@ def calibrate_environment(
 
 @dataclass
 class SampleRun:
-    """One intermittent execution of one input sample."""
+    """One intermittent execution of one input sample.
+
+    ``metrics`` carries the per-sample :class:`Metrics` rollup as a
+    plain dict (pickle-friendly across the ``REPRO_JOBS`` pool). It is
+    excluded from equality/repr so differential comparisons — replay vs
+    interpreter, serial vs parallel — keep comparing the six result
+    fields only."""
 
     wall_ms: int
     on_ms: int
@@ -110,6 +120,7 @@ class SampleRun:
     outages: int
     skim_taken: bool
     error: float
+    metrics: Optional[dict] = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -134,6 +145,18 @@ class BenchmarkResult:
     def skim_rate(self) -> float:
         return sum(r.skim_taken for r in self.runs) / len(self.runs)
 
+    def merged_metrics(self) -> Metrics:
+        """Merge every sample's metrics into one configuration rollup.
+
+        The merge is associative and order-independent for counters and
+        histograms, so serial and ``REPRO_JOBS`` runs produce identical
+        rollups (asserted in ``tests/test_observability.py``)."""
+        merged = Metrics()
+        for run in self.runs:
+            if run.metrics:
+                merged.merge(Metrics.from_dict(run.metrics))
+        return merged
+
 
 def build_anytime(workload: Workload, mode: str, bits: Optional[int] = None,
                   **config_kwargs) -> AnytimeKernel:
@@ -147,19 +170,34 @@ def measure_precise_cycles(workload: Workload) -> int:
     return build_anytime(workload, "precise").run(workload.inputs).cycles
 
 
+#: Set after the first invalid-``REPRO_JOBS`` warning so a run that
+#: consults :func:`experiment_jobs` many times (once per benchmark in a
+#: figure grid) warns exactly once. Worker processes inherit the
+#: environment but never print: the parent validated first and each
+#: worker's flag starts False only in a process that re-parses — which
+#: is fine, because workers are only spawned when the value parsed.
+_jobs_warning_emitted = False
+
+
 def experiment_jobs() -> int:
-    """Worker-process count from ``REPRO_JOBS`` (default 1 = serial)."""
+    """Worker-process count from ``REPRO_JOBS`` (default 1 = serial).
+
+    An unparseable value falls back to serial with a single stderr
+    warning per process (not one per benchmark)."""
+    global _jobs_warning_emitted
     raw = os.environ.get("REPRO_JOBS", "").strip()
     if not raw:
         return 1
     try:
         return max(1, int(raw))
     except ValueError:
-        print(
-            f"repro: ignoring invalid REPRO_JOBS={raw!r} "
-            "(want a positive integer); running serially",
-            file=sys.stderr,
-        )
+        if not _jobs_warning_emitted:
+            _jobs_warning_emitted = True
+            print(
+                f"repro: ignoring invalid REPRO_JOBS={raw!r} "
+                "(want a positive integer); running serially",
+                file=sys.stderr,
+            )
         return 1
 
 
@@ -206,6 +244,46 @@ _worker_traces: Dict[Tuple[int, int, int], List[PowerTrace]] = {}
 _worker_records: Dict[Tuple[str, str, str, Optional[int]], ReplayRecord] = {}
 
 
+#: Bytes one register-file backup writes (16 regs + PSR + PC, one NVM
+#: word each) — mirrors ``Checkpoint.size_words``.
+_CHECKPOINT_BYTES = (16 + 1 + 1) * 4
+
+
+def _sample_metrics(run, engine: str, fallback: bool, error: float) -> dict:
+    """The per-sample :class:`Metrics` rollup, as a picklable dict.
+
+    Built once per finished sample (cold path), so it is collected
+    unconditionally — ``REPRO_METRICS`` only gates whether the parent
+    *writes* the merged rollups anywhere.
+    """
+    result = run.result
+    stats = result.runtime_stats
+    metrics = Metrics()
+    metrics.count("samples")
+    metrics.count(f"engine.{engine}")
+    if fallback:
+        metrics.count("replay_fallbacks")
+    metrics.count("outages", result.outages)
+    metrics.count("checkpoints", stats.checkpoints)
+    metrics.count("checkpoint_bytes", stats.checkpoints * _CHECKPOINT_BYTES)
+    metrics.count("restores", stats.restores)
+    metrics.count("war_violations", stats.war_violations)
+    metrics.count("watchdog_checkpoints", stats.watchdog_checkpoints)
+    if result.skim_taken:
+        metrics.count("skims_taken")
+    metrics.observe("wall_ms", result.wall_ms)
+    metrics.observe("on_ms", result.on_ms)
+    metrics.observe("active_cycles", result.active_cycles)
+    # One "on period" per power cycle: outages + the final completing one.
+    metrics.observe(
+        "cycles_per_on_period", result.active_cycles / (result.outages + 1)
+    )
+    metrics.observe("checkpoint_cycles", stats.checkpoint_cycles)
+    metrics.observe("restore_cycles", stats.restore_cycles)
+    metrics.observe("error", error)
+    return metrics.to_dict()
+
+
 def _run_sample(spec: SampleSpec) -> SampleRun:
     """Execute one (trace, invocation) sample; runs in a worker process."""
     from ..workloads import make_workload
@@ -231,15 +309,30 @@ def _run_sample(spec: SampleSpec) -> SampleRun:
         )
     trace = _worker_traces[tkey][spec.trace_index]
 
+    if TRACER.enabled:
+        TRACER.emit(
+            "sample_start", workload=spec.workload_name, scale=spec.scale,
+            mode=spec.mode, bits=spec.bits, runtime=spec.runtime,
+            trace=spec.trace_index, invocation=spec.invocation,
+        )
     energy = EnergyModel(
         backup_overhead=NVP_BACKUP_OVERHEAD if spec.runtime == "nvp" else 0.0
     )
     run = None
+    engine = "interp"
+    fallback = False
     if experiment_replay():
         record = _worker_records.get(kkey)
         if record is None:
             record = record_run(kernel, workload.inputs)
             _worker_records[kkey] = record
+            if TRACER.enabled:
+                TRACER.emit(
+                    "record_run", workload=spec.workload_name,
+                    mode=spec.mode, bits=spec.bits,
+                    replayable=record.replayable,
+                    reason=record.reason or None, length=record.length,
+                )
         if record.replayable:
             try:
                 run = replay_intermittent(
@@ -258,8 +351,19 @@ def _run_sample(spec: SampleSpec) -> SampleRun:
                         spec.watchdog_cycles if spec.runtime == "clank" else None
                     ),
                 )
-            except ReplayDiverged:
+                engine = "replay"
+            except ReplayDiverged as exc:
                 run = None  # this sample left the log; replay it live
+                fallback = True
+                if TRACER.enabled:
+                    TRACER.emit("replay_fallback", reason=f"diverged: {exc}")
+        else:
+            fallback = True
+            if TRACER.enabled:
+                TRACER.emit(
+                    "replay_fallback",
+                    reason=f"not-replayable: {record.reason}",
+                )
     if run is None:
         run = kernel.run_intermittent(
             workload.inputs,
@@ -278,13 +382,20 @@ def _run_sample(spec: SampleSpec) -> SampleRun:
             f"{spec.workload_name} [{spec.mode}/{spec.runtime}] did not "
             f"complete on trace {trace.name!r} within {spec.max_wall_ms} ms"
         )
+    error = nrmse(reference, workload.decode(run.outputs))
+    if TRACER.enabled:
+        TRACER.emit(
+            "sample_end", engine=engine, completed=run.result.completed,
+            skim_taken=run.result.skim_taken, wall_ms=run.result.wall_ms,
+        )
     return SampleRun(
         wall_ms=run.result.wall_ms,
         on_ms=run.result.on_ms,
         active_cycles=run.result.active_cycles,
         outages=run.result.outages,
         skim_taken=run.result.skim_taken,
-        error=nrmse(reference, workload.decode(run.outputs)),
+        error=error,
+        metrics=_sample_metrics(run, engine, fallback, error),
     )
 
 
@@ -332,6 +443,45 @@ def _map_samples(specs: List[SampleSpec], jobs: int) -> List[SampleRun]:
         return list(pool.map(_run_sample, specs))
 
 
+def _finish_result(
+    result: BenchmarkResult, setup: ExperimentSetup
+) -> BenchmarkResult:
+    """Observability hooks every finished configuration passes through.
+
+    Feeds the active run manifest (no-op when none is open) and, when
+    ``REPRO_METRICS=<path>`` is set, appends one JSONL rollup line for
+    the configuration. Runs in the parent process only: worker metrics
+    arrived inside the :class:`SampleRun` objects.
+    """
+    metrics = result.merged_metrics()
+    engine = "replay" if experiment_replay() else "interp"
+    setup_info = {
+        "scale": setup.scale,
+        "trace_count": setup.trace_count,
+        "invocations": setup.invocations,
+        "trace_seed": setup.trace_seed,
+    }
+    record_result(
+        result.name, result.mode, result.bits, result.runtime, engine,
+        setup=setup_info, samples=len(result.runs),
+        metrics=metrics.to_dict(),
+    )
+    path = os.environ.get(METRICS_ENV, "").strip()
+    if path:
+        line = {
+            "workload": result.name,
+            "mode": result.mode,
+            "bits": result.bits,
+            "runtime": result.runtime,
+            "engine": engine,
+            "samples": len(result.runs),
+            "metrics": metrics.to_dict(),
+        }
+        with open(path, "a", encoding="utf-8") as file:
+            file.write(json.dumps(line, separators=(",", ":")) + "\n")
+    return result
+
+
 def run_benchmark(
     workload: Workload,
     mode: str,
@@ -365,14 +515,21 @@ def run_benchmark(
         # a name) take the legacy inline loop below.
         specs = _sample_specs(workload, mode, bits, runtime, setup, environment, reference)
         result.runs.extend(_map_samples(specs, jobs))
-        return result
+        return _finish_result(result, setup)
 
     kernel = build_anytime(workload, mode, bits)
     energy = EnergyModel(
         backup_overhead=NVP_BACKUP_OVERHEAD if runtime == "nvp" else 0.0
     )
-    for trace in setup.traces():
+    for trace_index, trace in enumerate(setup.traces()):
         for invocation in range(setup.invocations):
+            if TRACER.enabled:
+                TRACER.emit(
+                    "sample_start", workload=workload.name,
+                    scale=workload.scale, mode=mode, bits=bits,
+                    runtime=runtime, trace=trace_index,
+                    invocation=invocation,
+                )
             run = kernel.run_intermittent(
                 workload.inputs,
                 trace,
@@ -389,6 +546,13 @@ def run_benchmark(
                     f"trace {trace.name!r} within {setup.max_wall_ms} ms"
                 )
             error = nrmse(reference, workload.decode(run.outputs))
+            if TRACER.enabled:
+                TRACER.emit(
+                    "sample_end", engine="interp",
+                    completed=run.result.completed,
+                    skim_taken=run.result.skim_taken,
+                    wall_ms=run.result.wall_ms,
+                )
             result.runs.append(
                 SampleRun(
                     wall_ms=run.result.wall_ms,
@@ -397,9 +561,10 @@ def run_benchmark(
                     outages=run.result.outages,
                     skim_taken=run.result.skim_taken,
                     error=error,
+                    metrics=_sample_metrics(run, "interp", False, error),
                 )
             )
-    return result
+    return _finish_result(result, setup)
 
 
 def run_benchmark_suite(
@@ -443,7 +608,7 @@ def run_benchmark_suite(
     for index, (mode, bits) in enumerate(configs):
         result = BenchmarkResult(workload.name, mode, bits, runtime)
         result.runs.extend(runs[index * per_config:(index + 1) * per_config])
-        results.append(result)
+        results.append(_finish_result(result, setup))
     return results
 
 

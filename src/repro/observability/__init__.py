@@ -1,0 +1,51 @@
+"""Structured observability: tracing, metrics and run manifests.
+
+The always-available instrumentation layer of the reproduction (see
+``docs/OBSERVABILITY.md`` for the user guide and event schema):
+
+* :data:`TRACER` / :class:`Tracer` — typed JSONL event tracing, armed
+  by ``REPRO_TRACE=<path>`` and free when off;
+* :class:`Metrics` / :class:`Histogram` — mergeable counters and
+  histograms aggregated per grid sample and rolled up per benchmark
+  configuration (``REPRO_METRICS=<path>`` writes the rollups);
+* :class:`RunManifest` — provenance stamps (git SHA, setup, engine,
+  metric rollups) for experiment runs (``REPRO_MANIFEST=<path>``);
+* :func:`summarize_trace` / :func:`format_summary` — the engine behind
+  ``python -m repro trace summarize <file>``.
+"""
+
+from .manifest import (
+    MANIFEST_ENV,
+    RunManifest,
+    active_manifest,
+    begin_manifest,
+    finish_manifest,
+    git_sha,
+    manifest_path_from_env,
+    record_result,
+)
+from .metrics import METRICS_ENV, Histogram, Metrics
+from .summarize import SampleTrace, TraceSummary, format_summary, summarize_trace
+from .tracer import TRACE_ENV, TRACER, Tracer, init_from_env
+
+__all__ = [
+    "MANIFEST_ENV",
+    "METRICS_ENV",
+    "TRACE_ENV",
+    "TRACER",
+    "Histogram",
+    "Metrics",
+    "RunManifest",
+    "SampleTrace",
+    "TraceSummary",
+    "Tracer",
+    "active_manifest",
+    "begin_manifest",
+    "finish_manifest",
+    "format_summary",
+    "git_sha",
+    "init_from_env",
+    "manifest_path_from_env",
+    "record_result",
+    "summarize_trace",
+]

@@ -1,0 +1,159 @@
+"""Mergeable counters and histograms for experiment runs.
+
+A :class:`Metrics` registry holds named **counters** (monotonic ints)
+and **histograms** (count/sum/min/max summaries — enough for means and
+ranges without storing samples). Registries merge associatively, which
+is what the experiment harness needs: every grid sample produces one
+small registry in whatever process ran it, the per-sample registries
+ride back to the parent on the :class:`~repro.experiments.common.SampleRun`
+(plain dicts, so they cross the pickle boundary), and the parent's
+merge in grid order is identical whether the grid ran serially or over
+``REPRO_JOBS`` workers (asserted by ``tests/test_observability.py``).
+
+Set ``REPRO_METRICS=<path>`` to have the harness append one JSON line
+per finished benchmark configuration — the merged rollup of its grid —
+next to whatever the experiment prints (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Environment variable holding the metrics rollup output path.
+METRICS_ENV = "REPRO_METRICS"
+
+
+class Histogram:
+    """Streaming summary of one observed quantity: count/sum/min/max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another summary in; equivalent to observing its samples."""
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.min is None or other.min < self.min:
+            self.min = other.min
+        if self.max is None or other.max > self.max:
+            self.max = other.max
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON- and pickle-friendly)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        """Rebuild a summary produced by :meth:`to_dict`."""
+        hist = cls()
+        hist.count = data["count"]
+        hist.total = data["sum"]
+        hist.min = data["min"]
+        hist.max = data["max"]
+        return hist
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(count={self.count}, mean={self.mean:.3g}, "
+            f"min={self.min}, max={self.max})"
+        )
+
+
+class Metrics:
+    """A named registry of counters and histograms.
+
+    Names are free-form dotted strings (``sample.outages``,
+    ``runtime.checkpoint_cycles``); the registry creates series on
+    first use so call sites never pre-declare.
+    """
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Fold ``other`` into this registry; returns self for chaining."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(hist)
+        return self
+
+    def to_dict(self) -> dict:
+        """Plain-dict form: ``{"counters": {...}, "histograms": {...}}``."""
+        return {
+            "counters": dict(self.counters),
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> "Metrics":
+        """Rebuild a registry from :meth:`to_dict` output (None -> empty)."""
+        metrics = cls()
+        if not data:
+            return metrics
+        metrics.counters.update(data.get("counters", {}))
+        for name, hist in data.get("histograms", {}).items():
+            metrics.histograms[name] = Histogram.from_dict(hist)
+        return metrics
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Metrics):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.histograms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Metrics({len(self.counters)} counters, "
+            f"{len(self.histograms)} histograms)"
+        )

@@ -1,0 +1,122 @@
+"""Structured event tracing for the simulator and experiment harness.
+
+One global :class:`Tracer` (:data:`TRACER`) collects **typed events** —
+power outages and restores, checkpoint saves, skim arms/takes, replay
+fallbacks, sample boundaries — and appends them to a JSONL file when
+tracing is enabled. The full event schema is documented in
+``docs/OBSERVABILITY.md``; the summarizer
+(:mod:`repro.observability.summarize`, ``python -m repro trace
+summarize``) turns a trace back into counts and timelines.
+
+Enabling: set ``REPRO_TRACE=<path>`` in the environment before the
+process starts (the harness and worker processes both honor it), or
+call :meth:`Tracer.enable` programmatically. With tracing disabled —
+the default — every emission site reduces to a single attribute read
+and branch (``if TRACER.enabled:``), and **no** observability code runs
+inside the interpreter's per-instruction dispatch loop at all: events
+originate at power-cycle granularity (outages, restores, checkpoints)
+or rarer, so the fast interpreter's throughput is unchanged whether
+tracing is on or off (benchmarked in ``benchmarks/test_interp_speed.py``).
+
+Multi-process safety: every event line carries the emitting ``pid``.
+Worker processes (``REPRO_JOBS``) inherit the enabled tracer and append
+to the same file; each line is written with one flushed ``write`` call,
+which POSIX ``O_APPEND`` keeps atomic for lines this small, and the
+summarizer groups events by pid before attributing them to samples.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Optional
+
+#: Environment variable holding the trace output path.
+TRACE_ENV = "REPRO_TRACE"
+
+
+class Tracer:
+    """Append-only JSONL event sink with a cheap disabled path.
+
+    The one attribute hot call sites read is :attr:`enabled`; everything
+    else only runs once tracing is on. Each event is one JSON object per
+    line with at least ``t`` (event type) and ``pid`` fields.
+    """
+
+    __slots__ = ("enabled", "path", "emitted", "_file", "_pid")
+
+    def __init__(self) -> None:
+        #: The one flag emission sites branch on. Plain bool attribute:
+        #: reading it costs one LOAD_ATTR, nothing else.
+        self.enabled = False
+        #: Destination path while enabled, else ``None``.
+        self.path: Optional[str] = None
+        #: Events emitted by *this process* since the last enable/reset.
+        self.emitted = 0
+        self._file: Optional[IO[str]] = None
+        self._pid = 0
+
+    def enable(self, path: str) -> None:
+        """Start appending events to ``path`` (created if missing)."""
+        self.disable()
+        self.path = path
+        self._file = open(path, "a", encoding="utf-8")
+        self._pid = os.getpid()
+        self.emitted = 0
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop tracing and close the sink; emission sites go quiet."""
+        self.enabled = False
+        if self._file is not None:
+            try:
+                self._file.close()
+            finally:
+                self._file = None
+        self.path = None
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one typed event line.
+
+        Callers in warm paths must guard with ``if TRACER.enabled:`` so
+        the disabled path never builds the ``fields`` dict. ``emit``
+        re-checks the flag anyway: a guard-less call while disabled is a
+        no-op, not a crash.
+        """
+        if not self.enabled:
+            return
+        file = self._file
+        if file is None:  # enabled flag flipped by hand; recover quietly
+            self.enabled = False
+            return
+        pid = os.getpid()
+        if pid != self._pid:
+            # Forked worker: reopen so each process owns its buffer and
+            # O_APPEND offset (the inherited handle would share state).
+            self._pid = pid
+            self._file = file = open(self.path, "a", encoding="utf-8")
+            self.emitted = 0
+        fields["t"] = event
+        fields["pid"] = pid
+        file.write(json.dumps(fields, separators=(",", ":")) + "\n")
+        file.flush()
+        self.emitted += 1
+
+
+#: The process-wide tracer every emission site imports.
+TRACER = Tracer()
+
+
+def init_from_env() -> None:
+    """Arm :data:`TRACER` from ``REPRO_TRACE`` if the variable is set.
+
+    Called at package import, so a plain ``REPRO_TRACE=out.jsonl python
+    -m repro run fig10`` traces without any code changes; spawned worker
+    processes re-run this on import and join the same file.
+    """
+    path = os.environ.get(TRACE_ENV, "").strip()
+    if path:
+        TRACER.enable(path)
+
+
+init_from_env()

@@ -107,6 +107,7 @@ class ReplayPolicy:
 
     @property
     def halted(self) -> bool:
+        """True once the cursor has consumed the whole recorded stream."""
         return self.cursor >= self.record.length
 
     def _cross(self, start: int, end: int) -> None:
@@ -131,10 +132,12 @@ class ReplayPolicy:
         return cost
 
     def on_tick(self, cycles_executed: int) -> int:
+        """Per-tick overhead in cycles (default: none)."""
         return 0
 
     def on_outage(self) -> None:
-        pass
+        """Power was lost: discard whatever state is volatile."""
 
     def on_restore(self) -> int:
+        """Power returned: rewind/resume; returns the restore cost."""
         raise NotImplementedError

@@ -22,10 +22,12 @@ class Checkpoint:
 
     @classmethod
     def from_cpu(cls, cpu) -> "Checkpoint":
+        """Capture the CPU's current volatile state as a checkpoint."""
         regs, flags, pc = cpu.snapshot()
         return cls(regs=regs, flags=flags, pc=pc)
 
     def apply_to(self, cpu) -> None:
+        """Load this checkpoint back into the CPU (copying the regs)."""
         cpu.restore((list(self.regs), tuple(self.flags), self.pc))
 
     @property

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional, Set
 
+from ..observability.tracer import TRACER
 from ..sim.cpu import CPU
 from ..sim.replay import ReplayRecord
 from .base import IntermittentRuntime, ReplayPolicy
@@ -65,6 +66,7 @@ class ClankRuntime(IntermittentRuntime):
     # -- idempotency tracking ----------------------------------------------------
 
     def _on_load(self, addr: int, size: int) -> None:
+        """Load hook: bytes read before being written become WAR-live."""
         written = self._written
         read_first = self._read_first
         for byte in range(addr, addr + size):
@@ -72,6 +74,7 @@ class ClankRuntime(IntermittentRuntime):
                 read_first.add(byte)
 
     def _on_store(self, addr: int, size: int) -> int:
+        """Store hook: checkpoint before a WAR-violating store commits."""
         cost = 0
         read_first = self._read_first
         for byte in range(addr, addr + size):
@@ -79,30 +82,39 @@ class ClankRuntime(IntermittentRuntime):
                 # WAR violation: checkpoint before the store commits so
                 # the region up to here stays idempotent.
                 self.stats.war_violations += 1
-                cost = self._take_checkpoint()
+                cost = self._take_checkpoint("war")
                 break
         self._written.update(range(addr, addr + size))
         return cost
 
-    def _take_checkpoint(self) -> int:
+    def _take_checkpoint(self, cause: str) -> int:
+        """Back up the core state; returns the checkpoint cost in cycles."""
         self.checkpoint = Checkpoint.from_cpu(self.cpu)
         self._read_first.clear()
         self._written.clear()
         self._cycles_since_checkpoint = 0
         self.stats.checkpoints += 1
         self.stats.checkpoint_cycles += self.checkpoint_cycles
+        if TRACER.enabled:
+            TRACER.emit(
+                "checkpoint", cause=cause, cost=self.checkpoint_cycles,
+                bytes=self.checkpoint.size_words * 4, runtime=self.name,
+                engine="interp",
+            )
         return self.checkpoint_cycles
 
     # -- executor callbacks ----------------------------------------------------------
 
     def on_tick(self, cycles_executed: int) -> int:
+        """Advance the watchdog; checkpoint when its period elapses."""
         self._cycles_since_checkpoint += cycles_executed
         if self._cycles_since_checkpoint >= self.watchdog_cycles:
             self.stats.watchdog_checkpoints += 1
-            return self._take_checkpoint()
+            return self._take_checkpoint("watchdog")
         return 0
 
     def on_outage(self) -> None:
+        """Forget all volatile tracking state; NVM alone survives."""
         # The core is volatile: registers, flags, PC and the tracking
         # sets evaporate. Main memory (NVM) keeps its contents; SRAM is
         # cleared by the executor via Memory.power_loss().
@@ -111,6 +123,7 @@ class ClankRuntime(IntermittentRuntime):
         self._cycles_since_checkpoint = 0
 
     def on_restore(self) -> int:
+        """Reload the last checkpoint (or jump to an armed skim point)."""
         self.stats.restores += 1
         self.stats.restore_cycles += self.restore_cycles
         self.checkpoint.apply_to(self.cpu)
@@ -158,6 +171,7 @@ class ClankReplayPolicy(ReplayPolicy):
         self._war_in_chunk = False
 
     def run_chunk(self, budget: int) -> int:
+        """Advance in WAR-free segments, checkpointing at each violation."""
         record = self.record
         cum = record.cum_cost
         n = record.length
@@ -198,6 +212,11 @@ class ClankReplayPolicy(ReplayPolicy):
             self.stats.checkpoint_cycles += self.checkpoint_cycles
             self.checkpoint_pos = cursor
             self._war_in_chunk = True
+            if TRACER.enabled:
+                TRACER.emit(
+                    "checkpoint", cause="war", cost=self.checkpoint_cycles,
+                    position=cursor, runtime=self.name, engine="replay",
+                )
             cursor += 1
         self.cursor = cursor
         if cursor > self.max_position:
@@ -205,6 +224,7 @@ class ClankReplayPolicy(ReplayPolicy):
         return consumed
 
     def on_tick(self, cycles_executed: int) -> int:
+        """Advance the watchdog exactly as the live runtime would."""
         if self._war_in_chunk:
             self._war_in_chunk = False
             self._cycles_since_checkpoint = cycles_executed
@@ -216,14 +236,22 @@ class ClankReplayPolicy(ReplayPolicy):
             self.stats.checkpoint_cycles += self.checkpoint_cycles
             self.checkpoint_pos = self.cursor
             self._cycles_since_checkpoint = 0
+            if TRACER.enabled:
+                TRACER.emit(
+                    "checkpoint", cause="watchdog",
+                    cost=self.checkpoint_cycles, position=self.cursor,
+                    runtime=self.name, engine="replay",
+                )
             return self.checkpoint_cycles
         return 0
 
     def on_outage(self) -> None:
+        """Reset the watchdog; the checkpoint *position* is non-volatile."""
         self._cycles_since_checkpoint = 0
         self._war_in_chunk = False
 
     def on_restore(self) -> int:
+        """Rewind to the checkpoint position (or consume the skim)."""
         self.stats.restores += 1
         self.stats.restore_cycles += self.restore_cycles
         self.cursor = self.checkpoint_pos

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..observability.tracer import TRACER
 from ..power.supply import PowerSupply
 from ..sim.cpu import CPU
 from .base import IntermittentRuntime, RuntimeStats
@@ -36,6 +37,7 @@ class RunResult:
 
     @property
     def wall_seconds(self) -> float:
+        """Wall-clock time to finish, in seconds."""
         return self.wall_ms / 1000.0
 
 
@@ -81,8 +83,14 @@ class IntermittentExecutor:
                 supply.charge_until_on()
                 armed_before = runtime.skim.armed
                 pending_overhead = runtime.on_restore()
-                if armed_before and not runtime.skim.armed:
+                took_skim = armed_before and not runtime.skim.armed
+                if took_skim:
                     skim_taken = True
+                if TRACER.enabled:
+                    TRACER.emit(
+                        "restore", tick=supply.tick, cost=pending_overhead,
+                        runtime=runtime.name, skim=took_skim, engine="interp",
+                    )
                 # Forward-progress guard: restoring to the *identical*
                 # architectural state many times in a row means no
                 # durable progress survives the outages (the per-charge
@@ -148,6 +156,11 @@ class IntermittentExecutor:
                 # overhead (it never got to execute).
                 pending_overhead = 0
                 runtime.on_outage()
+                if TRACER.enabled:
+                    TRACER.emit(
+                        "outage", tick=supply.tick, runtime=runtime.name,
+                        engine="interp",
+                    )
                 if self.volatile_core:
                     cpu.memory.power_loss()
                 if cpu.halted:

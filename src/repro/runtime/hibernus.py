@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..observability.tracer import TRACER
 from ..sim.cpu import CPU
 from ..sim.replay import ReplayDiverged, ReplayRecord
 from .base import IntermittentRuntime, ReplayPolicy
@@ -70,15 +71,24 @@ class HibernusRuntime(IntermittentRuntime):
         self.checkpoint = Checkpoint.from_cpu(self.cpu)
         self.stats.checkpoints += 1
         self.stats.checkpoint_cycles += self.snapshot_cycles
+        if TRACER.enabled:
+            TRACER.emit(
+                "checkpoint", cause="low_voltage", cost=self.snapshot_cycles,
+                bytes=self.checkpoint.size_words * 4, runtime=self.name,
+                engine="interp",
+            )
         return self.snapshot_cycles
 
     def on_tick(self, cycles_executed: int) -> int:
+        """No per-tick work: snapshots are voltage-triggered only."""
         return 0
 
     def on_outage(self) -> None:
+        """Re-arm the voltage monitor for the next power cycle."""
         self._armed_this_cycle = False
 
     def on_restore(self) -> int:
+        """Resume from the hibernation snapshot (or take the skim jump)."""
         self.stats.restores += 1
         self.stats.restore_cycles += self.restore_cycles
         self.checkpoint.apply_to(self.cpu)
@@ -117,18 +127,26 @@ class HibernusReplayPolicy(ReplayPolicy):
         self._armed_this_cycle = False
 
     def on_low_voltage(self) -> int:
+        """Record the snapshot position (the replay twin of hibernating)."""
         if self._armed_this_cycle:
             return 0
         self._armed_this_cycle = True
         self.checkpoint_pos = self.cursor
         self.stats.checkpoints += 1
         self.stats.checkpoint_cycles += self.snapshot_cycles
+        if TRACER.enabled:
+            TRACER.emit(
+                "checkpoint", cause="low_voltage", cost=self.snapshot_cycles,
+                position=self.cursor, runtime=self.name, engine="replay",
+            )
         return self.snapshot_cycles
 
     def on_outage(self) -> None:
+        """Re-arm the voltage monitor for the next power cycle."""
         self._armed_this_cycle = False
 
     def on_restore(self) -> int:
+        """Rewind to the snapshot position; diverge if non-idempotent."""
         self.stats.restores += 1
         self.stats.restore_cycles += self.restore_cycles
         cp = self.checkpoint_pos

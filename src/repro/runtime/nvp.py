@@ -40,17 +40,17 @@ class NVPRuntime(IntermittentRuntime):
         self.restore_cycles = restore_cycles
 
     def _entry_checkpoint(self) -> None:
-        # Every cycle is its own checkpoint; nothing to record.
-        pass
+        """Nothing to record: every cycle is its own checkpoint."""
 
     def on_tick(self, cycles_executed: int) -> int:
+        """No per-tick work; the backup tax is in the energy model."""
         return 0
 
     def on_outage(self) -> None:
-        # All pipeline state is non-volatile; nothing is lost.
-        pass
+        """All pipeline state is non-volatile; nothing is lost."""
 
     def on_restore(self) -> int:
+        """Wake up in place (or jump to an armed skim point)."""
         self.stats.restores += 1
         self.stats.restore_cycles += self.restore_cycles
         if self.skim.armed:
@@ -79,6 +79,7 @@ class NVPReplayPolicy(ReplayPolicy):
         self.restore_cycles = restore_cycles
 
     def on_restore(self) -> int:
+        """Resume at the exact interrupted position; never rewind."""
         self.stats.restores += 1
         self.stats.restore_cycles += self.restore_cycles
         self.resume_position = self.cursor

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.anytime import IntermittentRun
+from ..observability.tracer import TRACER
 from ..power.capacitor import Capacitor
 from ..power.energy import EnergyModel
 from ..power.supply import PowerSupply
@@ -101,7 +102,13 @@ class ReplayExecutor:
                 supply.charge_until_on()
                 armed_before = skim.armed
                 pending_overhead = policy.on_restore()
-                if armed_before and not skim.armed:
+                took_skim = armed_before and not skim.armed
+                if TRACER.enabled:
+                    TRACER.emit(
+                        "restore", tick=supply.tick, cost=pending_overhead,
+                        runtime=policy.name, skim=took_skim, engine="replay",
+                    )
+                if took_skim:
                     self.skim_cut = (
                         policy.resume_position,
                         policy.skim_redirect,
@@ -152,6 +159,11 @@ class ReplayExecutor:
             if not supply.finish_tick():
                 pending_overhead = 0
                 policy.on_outage()
+                if TRACER.enabled:
+                    TRACER.emit(
+                        "outage", tick=supply.tick, runtime=policy.name,
+                        engine="replay",
+                    )
                 if policy.halted:
                     break
 

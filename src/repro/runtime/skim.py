@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..observability.tracer import TRACER
+
 
 class SkimRegister:
     """One non-volatile address register plus bookkeeping.
@@ -39,6 +41,13 @@ class SkimRegister:
         self._target = target
         self.quality_level += 1
         self.set_count += 1
+        if TRACER.enabled:
+            # An SKM retire is also the completion marker of one subword
+            # pass: the compiler emits exactly one per finished phase.
+            TRACER.emit(
+                "skim_arm", target=target, quality=self.quality_level, count=1,
+            )
+            TRACER.emit("subword_pass", index=self.quality_level)
 
     def arm_from_log(self, target: int, count: int) -> None:
         """Apply ``count`` consecutive recorded arm events ending at
@@ -51,15 +60,26 @@ class SkimRegister:
         self._target = target
         self.quality_level += count
         self.set_count += count
+        if TRACER.enabled:
+            # One event stands in for ``count`` SKM retires the replay
+            # fast-forward crossed; the summarizer sums the counts, so
+            # arm totals match the live path's event-per-retire stream.
+            TRACER.emit(
+                "skim_arm", target=target, quality=self.quality_level,
+                count=count,
+            )
+            TRACER.emit("subword_pass", index=self.quality_level)
 
     @property
     def armed(self) -> bool:
+        """True when a restore would take the skim jump."""
         return (
             self._target is not None
             and self.quality_level >= self.min_quality_level
         )
 
     def peek(self) -> Optional[int]:
+        """The armed target address without consuming it (or ``None``)."""
         return self._target
 
     def consume(self) -> int:
@@ -69,6 +89,8 @@ class SkimRegister:
         target = self._target
         self._target = None
         self.taken_count += 1
+        if TRACER.enabled:
+            TRACER.emit("skim_take", target=target)
         return target
 
     def clear(self) -> None:

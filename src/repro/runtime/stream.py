@@ -34,6 +34,7 @@ class ProcessedSample:
 
     @property
     def latency_ms(self) -> int:
+        """Milliseconds from sample arrival to its finished output."""
         return self.finish_ms - self.arrival_ms
 
 
@@ -47,6 +48,7 @@ class StreamResult:
 
     @property
     def processed_indices(self) -> List[int]:
+        """Arrival indices of the samples that produced an output."""
         return [p.index for p in self.processed]
 
     @property

@@ -100,14 +100,27 @@ class TestExperimentJobs:
         assert experiment_jobs() == 1
 
     def test_invalid_value_warns_and_runs_serial(self, monkeypatch, capsys):
-        from repro.experiments.common import experiment_jobs
+        from repro.experiments import common
 
+        monkeypatch.setattr(common, "_jobs_warning_emitted", False)
         monkeypatch.setenv("REPRO_JOBS", "banana")
-        assert experiment_jobs() == 1
+        assert common.experiment_jobs() == 1
         err = capsys.readouterr().err
         assert "invalid REPRO_JOBS" in err
         assert "'banana'" in err
         assert "running serially" in err
+
+    def test_invalid_value_warns_exactly_once(self, monkeypatch, capsys):
+        """A figure grid consults experiment_jobs() once per benchmark;
+        an invalid value must not spam stderr with one warning each."""
+        from repro.experiments import common
+
+        monkeypatch.setattr(common, "_jobs_warning_emitted", False)
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        for _ in range(5):
+            assert common.experiment_jobs() == 1
+        err = capsys.readouterr().err
+        assert err.count("invalid REPRO_JOBS") == 1
 
 
 class TestWorkerCacheStatelessness:

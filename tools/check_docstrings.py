@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate (stdlib only; no third-party deps).
+
+Walks the given files/directories with :mod:`ast` and counts public
+objects — modules, classes, and functions/methods whose name does not
+start with ``_`` — that carry a docstring. Exits non-zero when coverage
+falls below ``--fail-under`` (percent). ``--list-missing`` names every
+undocumented object, which is how the threshold gets ratcheted.
+
+Conventions:
+
+* ``__init__`` and other dunders are private (the class docstring
+  covers construction).
+* ``@property`` getters count like any other public method.
+* An overload/stub body of just ``...``/``pass`` under an ``if
+  TYPE_CHECKING:`` guard still counts — we gate the repo's real code,
+  which has none of those.
+
+Usage (mirrors the CI invocation)::
+
+    python tools/check_docstrings.py --fail-under 90 src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+
+def iter_python_files(roots: List[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories."""
+    for root in roots:
+        path = Path(root)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+
+
+def public_objects(path: Path) -> Iterator[Tuple[str, bool]]:
+    """Yield ``(qualified_name, has_docstring)`` for public objects."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    yield f"{path}:module", ast.get_docstring(tree) is not None
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[str, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                name = child.name
+                qualified = f"{prefix}{name}"
+                if not name.startswith("_"):
+                    yield (
+                        f"{path}:{qualified}",
+                        ast.get_docstring(child) is not None,
+                    )
+                    # Descend into classes (methods are API) but not
+                    # into functions: closures are implementation detail.
+                    if isinstance(child, ast.ClassDef):
+                        yield from walk(child, f"{qualified}.")
+
+    yield from walk(tree, "")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", help="files or directories to scan")
+    parser.add_argument("--fail-under", type=float, default=90.0,
+                        help="minimum coverage percent (default 90)")
+    parser.add_argument("--list-missing", action="store_true",
+                        help="print every undocumented public object")
+    args = parser.parse_args(argv)
+
+    total = documented = 0
+    missing: List[str] = []
+    for path in iter_python_files(args.paths):
+        for name, has_doc in public_objects(path):
+            total += 1
+            if has_doc:
+                documented += 1
+            else:
+                missing.append(name)
+
+    coverage = 100.0 * documented / total if total else 100.0
+    print(
+        f"docstring coverage: {documented}/{total} public objects "
+        f"({coverage:.1f}%), threshold {args.fail_under:.1f}%"
+    )
+    if args.list_missing and missing:
+        print("missing docstrings:")
+        for name in missing:
+            print(f"  {name}")
+    if coverage < args.fail_under:
+        print(
+            f"FAIL: coverage {coverage:.1f}% is below {args.fail_under:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

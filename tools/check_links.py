@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Markdown link lint (stdlib only; no third-party deps).
+
+Scans the given markdown files/directories for inline links and
+validates the *local* ones: relative file targets must exist (resolved
+against the linking file's directory), and ``#fragment`` targets must
+match a heading in the destination file (GitHub anchor slugs). External
+``http(s)``/``mailto`` links are counted but not fetched — CI must not
+depend on the network.
+
+Usage (mirrors the CI invocation)::
+
+    python tools/check_links.py README.md EXPERIMENTS.md docs/
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Set
+
+#: Inline markdown links: ``[text](target)``; images share the syntax.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Fenced code blocks must not contribute false links.
+_FENCE_RE = re.compile(r"^(```|~~~)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def iter_markdown_files(roots: List[str]) -> Iterator[Path]:
+    """Yield every ``.md`` file under the given files/directories."""
+    for root in roots:
+        path = Path(root)
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    # Strip inline markup the renderer drops from the anchor.
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # link text only
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> Set[str]:
+    """All heading anchor slugs a markdown file defines."""
+    slugs: Set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def check_file(path: Path) -> List[str]:
+    """Return a list of broken-link messages for one markdown file."""
+    problems: List[str] = []
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue  # external: counted, never fetched
+            base, _, fragment = target.partition("#")
+            dest = path if not base else (path.parent / base).resolve()
+            if not dest.exists():
+                problems.append(f"{path}:{lineno}: missing target {target!r}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if github_slug(fragment) not in heading_slugs(dest):
+                    problems.append(
+                        f"{path}:{lineno}: no heading for anchor {target!r}"
+                    )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", help="markdown files or directories")
+    args = parser.parse_args(argv)
+
+    files = list(iter_markdown_files(args.paths))
+    problems: List[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+
+    print(f"checked {len(files)} markdown file(s)")
+    if problems:
+        for problem in problems:
+            print(f"BROKEN LINK: {problem}", file=sys.stderr)
+        return 1
+    print("all local links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
