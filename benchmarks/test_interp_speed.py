@@ -1,22 +1,28 @@
 """Speed smoke: the pre-decoded interpreter must stay fast.
 
-Three gates, all machine-independent:
+Four gates, all machine-independent:
 
 * the fast CPU is at least 4x the reference interpreter on the MatMul
   precise build (the PR that introduced pre-decoding measured 5.5x;
   4x leaves slack for noisy shared runners),
 * the normalized rate has not regressed >30% against the committed
-  ``BENCH_interp.json`` (same check as ``python -m repro bench --check``),
+  ``BENCH_interp.json`` or the rolling median of the committed bench
+  history (same checks as ``python -m repro bench --check``),
 * enabling ``REPRO_TRACE`` costs the interpreter's continuous-power hot
   loop under 2%: no observability code runs per instruction, and a
-  continuous run crosses zero power-cycle events.
+  continuous run crosses zero power-cycle events,
+* the same 2% bound holds with ``REPRO_PROFILE`` and ``REPRO_LEDGER``
+  armed on top: the profiler reads counters only after a run, and the
+  progress ledger books cycles per power chunk, so neither adds a
+  single instruction to the dispatch loop.
 """
 
+import os
 import time
 
 from repro import benchmarking
 from repro.core import AnytimeConfig, AnytimeKernel
-from repro.observability import TRACER
+from repro.observability import PROFILER, TRACER
 from repro.workloads import make_workload
 
 
@@ -73,4 +79,51 @@ def test_trace_enabled_overhead_under_2_percent(tmp_path):
         f"tracing-enabled interpreter is {overhead:.1%} slower "
         f"(enabled {min(enabled_times):.4f}s vs "
         f"disabled {min(disabled_times):.4f}s)"
+    )
+
+
+def test_profiler_ledger_armed_overhead_under_2_percent(tmp_path):
+    """Arming the profiler and ledger must not slow the dispatch loop.
+
+    Profiling reads the per-PC counters *after* a run and the progress
+    ledger accounts per power chunk, so a continuous-power ``cpu.run()``
+    executes zero observability instructions either way. Same
+    interleaved best-case comparison as the tracer gate; additionally
+    pins that a continuous run collects no profile stacks (collection
+    happens only in the intermittent harness)."""
+    workload = make_workload("MatMul", "default")
+    kernel = AnytimeKernel(
+        workload.kernel, AnytimeConfig(mode="precise")
+    )
+
+    def run_once() -> float:
+        cpu = kernel.make_cpu(workload.inputs)
+        start = time.perf_counter()
+        cpu.run()
+        return time.perf_counter() - start
+
+    run_once()  # warm caches before timing anything
+    disarmed_times, armed_times = [], []
+    profile_path = str(tmp_path / "overhead.folded")
+    ledger_path = str(tmp_path / "overhead_ledger.jsonl")
+    try:
+        for _ in range(5):
+            PROFILER.disable()
+            os.environ.pop("REPRO_LEDGER", None)
+            disarmed_times.append(run_once())
+            PROFILER.enable(profile_path)
+            os.environ["REPRO_LEDGER"] = ledger_path
+            armed_times.append(run_once())
+            assert PROFILER.collections == 0, (
+                "continuous-power run must not collect profile stacks"
+            )
+    finally:
+        PROFILER.disable()
+        os.environ.pop("REPRO_LEDGER", None)
+
+    overhead = min(armed_times) / min(disarmed_times) - 1.0
+    assert overhead < 0.02, (
+        f"profiler/ledger-armed interpreter is {overhead:.1%} slower "
+        f"(armed {min(armed_times):.4f}s vs "
+        f"disarmed {min(disarmed_times):.4f}s)"
     )

@@ -7,9 +7,12 @@ Subcommands::
     python -m repro run all              # run everything (slow)
     python -m repro bench Conv2d         # quick speedup check for one benchmark
     python -m repro trace summarize t.jsonl   # report on a REPRO_TRACE file
+    python -m repro profile MatMul       # hot-region table + folded stacks
+    python -m repro report --html ...    # render the run dashboard
 
 ``run`` also writes a provenance manifest when ``--manifest <path>`` is
-passed or ``REPRO_MANIFEST=<path>`` is set (see docs/OBSERVABILITY.md).
+passed or ``REPRO_MANIFEST=<path>`` is set (see docs/OBSERVABILITY.md);
+``profile`` and ``report`` are documented in docs/PROFILING.md.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ def _print_result(name: str, result) -> None:
 
 
 def cmd_list(_args) -> int:
+    """List runnable experiment ids."""
     from .experiments import EXPERIMENTS
 
     print("available experiments (python -m repro run <id>):")
@@ -41,6 +45,7 @@ def cmd_list(_args) -> int:
 
 
 def cmd_run(args) -> int:
+    """Run one experiment (or all), optionally writing a manifest."""
     from .experiments import EXPERIMENTS, ExperimentSetup
     from .observability.manifest import (
         begin_manifest, finish_manifest, manifest_path_from_env,
@@ -75,9 +80,12 @@ def cmd_run(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    """Summarize a REPRO_TRACE file (text report or --json)."""
     import os
 
-    from .observability.summarize import format_summary, summarize_trace
+    from .observability.summarize import (
+        format_summary, summarize_trace, summary_to_dict,
+    )
 
     try:
         summary = summarize_trace(args.file)
@@ -85,7 +93,12 @@ def cmd_trace(args) -> int:
         print(f"cannot read trace {args.file!r}: {exc}", file=sys.stderr)
         return 2
     try:
-        print(format_summary(summary, limit=args.limit))
+        if args.json:
+            import json
+
+            print(json.dumps(summary_to_dict(summary)))
+        else:
+            print(format_summary(summary, limit=args.limit))
     except BrokenPipeError:
         # Piped into `head` and the reader closed early: that is fine,
         # but Python would print a noisy traceback at shutdown unless
@@ -94,7 +107,75 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Continuous-power cycle profile: hot-region table + folded stacks."""
+    from .core import AnytimeConfig, AnytimeKernel
+    from .experiments.report import format_table
+    from .observability.profiler import fold_cpu, format_folded, region_rows
+    from .workloads import BENCHMARKS, make_workload
+
+    if args.benchmark not in BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}; choose from {BENCHMARKS}",
+              file=sys.stderr)
+        return 2
+    workload = make_workload(args.benchmark, args.scale)
+    mode = args.mode or workload.technique
+    bits = None if mode == "precise" else args.bits
+    kernel = AnytimeKernel(workload.kernel, AnytimeConfig(mode=mode, bits=bits))
+    cpu = kernel.make_cpu(workload.inputs)
+    # Drive to halt via run_cycles: unlike cpu.run(), it never touches
+    # .stats, so the per-PC counters stay unflushed for fold_cpu.
+    while not cpu.halted:
+        if cpu.run_cycles(1_000_000) == 0:
+            break
+    label = f"{args.benchmark}/{mode}{'' if bits is None else bits}"
+    stacks = fold_cpu(cpu, label)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as file:
+            file.write(format_folded(stacks))
+        print(f"wrote folded profile {args.output} ({len(stacks)} stacks)")
+    total = sum(stacks.values())
+    rows = region_rows(stacks, top=args.top)
+    print(format_table(
+        ("region", "cycles", "share", "hottest"), rows,
+        title=f"Hot regions: {label} ({total:,} cycles, continuous power)",
+    ))
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render the run dashboard from whatever artifacts were passed."""
+    from .observability.dashboard import (
+        load_report_data, render_html_report, render_report,
+    )
+
+    from . import benchmarking
+
+    history = args.history or str(benchmarking.DEFAULT_HISTORY)
+    try:
+        data = load_report_data(
+            manifest=args.manifest,
+            metrics=args.metrics,
+            ledger=args.ledger,
+            trace=args.trace,
+            history=history,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"cannot load report inputs: {exc}", file=sys.stderr)
+        return 2
+    text = render_html_report(data, title=args.title) if args.html \
+        else render_report(data)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as file:
+            file.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_bench(args) -> int:
+    """Dispatch the bench subcommand to the right harness."""
     if args.grid:
         return _bench_grid(args)
     if args.benchmark == "interp":
@@ -110,7 +191,8 @@ def _bench_grid(args) -> int:
 
     output = pathlib.Path(args.output) if args.output else None
     payload = benchmarking.write_grid_bench(
-        path=output, reps=args.reps or 3, scale=args.scale
+        path=output, reps=args.reps or 3, scale=args.scale,
+        history=_history_path(args),
     )
     print(benchmarking.format_grid_bench(payload))
     print(f"wrote {output or benchmarking.DEFAULT_GRID_OUTPUT}")
@@ -121,6 +203,18 @@ def _bench_grid(args) -> int:
     return 0
 
 
+def _history_path(args):
+    """The bench history path an invocation should use (None = skip)."""
+    import pathlib
+
+    from . import benchmarking
+
+    if args.no_history:
+        return None
+    return pathlib.Path(args.history) if args.history \
+        else benchmarking.DEFAULT_HISTORY
+
+
 def _bench_interp(args) -> int:
     """Interpreter speed harness: regenerate or check BENCH_interp.json."""
     import pathlib
@@ -128,9 +222,12 @@ def _bench_interp(args) -> int:
     from . import benchmarking
 
     output = pathlib.Path(args.output) if args.output else None
+    history = _history_path(args)
     if args.check:
         try:
-            failures = benchmarking.check_bench(path=output, reps=args.reps or 3)
+            failures = benchmarking.check_bench(
+                path=output, reps=args.reps or 3, history=history
+            )
         except FileNotFoundError as exc:
             print(f"no committed baseline to check against: {exc}", file=sys.stderr)
             print("run 'python -m repro bench' first to create it", file=sys.stderr)
@@ -139,11 +236,16 @@ def _bench_interp(args) -> int:
             for failure in failures:
                 print(f"SPEED REGRESSION: {failure}", file=sys.stderr)
             return 1
-        print("interpreter speed within tolerance of committed baseline")
+        print("interpreter speed within tolerance of committed baseline "
+              "and rolling history median")
         return 0
-    payload = benchmarking.write_bench(path=output, reps=args.reps or 5)
+    payload = benchmarking.write_bench(
+        path=output, reps=args.reps or 5, history=history
+    )
     print(benchmarking.format_bench(payload))
     print(f"wrote {output or benchmarking.DEFAULT_OUTPUT}")
+    if history is not None:
+        print(f"appended history record to {history}")
     return 0
 
 
@@ -179,6 +281,7 @@ def _bench_workload(args) -> int:
 
 
 def main(argv: Optional[list] = None) -> int:
+    """Argparse entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduction of the What's Next intermittent computing architecture (HPCA 2019).",
@@ -208,7 +311,55 @@ def main(argv: Optional[list] = None) -> int:
     summarize_parser.add_argument("file")
     summarize_parser.add_argument("--limit", type=int, default=12,
                                   help="timelines to print (default 12)")
+    summarize_parser.add_argument("--json", action="store_true",
+                                  help="emit the machine-readable summary "
+                                       "(stable schema, all samples) instead "
+                                       "of the text report")
     summarize_parser.set_defaults(func=cmd_trace)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="profile one benchmark under continuous power: top-N hot "
+             "regions, optionally folded stacks for flamegraph/speedscope",
+    )
+    profile_parser.add_argument("benchmark")
+    profile_parser.add_argument("--mode", default=None,
+                                choices=("precise", "swp", "swv"),
+                                help="build to profile (default: the "
+                                     "workload's anytime technique)")
+    profile_parser.add_argument("--bits", type=int, default=8,
+                                help="anytime bit width (default 8)")
+    profile_parser.add_argument("--scale", default="default",
+                                choices=("tiny", "default", "paper"))
+    profile_parser.add_argument("--top", type=int, default=10,
+                                help="hot regions to list (default 10)")
+    profile_parser.add_argument("--output", default=None,
+                                help="also write folded stacks to this path")
+    profile_parser.set_defaults(func=cmd_profile)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render the run dashboard from manifest/metrics/ledger/trace/"
+             "history artifacts (text, or one self-contained HTML page)",
+    )
+    report_parser.add_argument("--manifest", default=None,
+                               help="REPRO_MANIFEST json from a run")
+    report_parser.add_argument("--metrics", default=None,
+                               help="REPRO_METRICS rollup jsonl")
+    report_parser.add_argument("--ledger", default=None,
+                               help="REPRO_LEDGER rollup jsonl")
+    report_parser.add_argument("--trace", default=None,
+                               help="REPRO_TRACE event jsonl (summarized)")
+    report_parser.add_argument("--history", default=None,
+                               help="bench history jsonl (default: the "
+                                    "committed benchmarks/results/history.jsonl)")
+    report_parser.add_argument("--html", action="store_true",
+                               help="render a self-contained HTML page "
+                                    "instead of text")
+    report_parser.add_argument("--title", default="repro run report")
+    report_parser.add_argument("--output", default=None,
+                               help="write to this path instead of stdout")
+    report_parser.set_defaults(func=cmd_report)
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -231,6 +382,13 @@ def main(argv: Optional[list] = None) -> int:
                               help="interp/grid: timing repetitions per config")
     bench_parser.add_argument("--output", default=None,
                               help="interp/grid: output path for the JSON payload")
+    bench_parser.add_argument("--history", default=None,
+                              help="interp/grid: bench history jsonl (default: "
+                                   "benchmarks/results/history.jsonl); writes "
+                                   "append a record, --check also gates against "
+                                   "the rolling median")
+    bench_parser.add_argument("--no-history", action="store_true",
+                              help="interp/grid: skip the history append/gate")
     bench_parser.set_defaults(func=cmd_bench)
 
     args = parser.parse_args(argv)

@@ -36,7 +36,13 @@ BENCH_CONFIGS = (
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parents[2] / "BENCH_interp.json"
 DEFAULT_GRID_OUTPUT = Path(__file__).resolve().parents[2] / "BENCH_grid.json"
+DEFAULT_HISTORY = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "results" / "history.jsonl"
+)
 REGRESSION_TOLERANCE = 0.30
+
+#: How many recent history records the rolling-median gate considers.
+HISTORY_WINDOW = 20
 
 #: The grid harness times the Figure-10 configuration grid of this
 #: workload (precise + 8-/4-bit anytime builds on Clank, 9 traces x 3
@@ -105,21 +111,139 @@ def run_bench(reps: int = 5, scale: str = "default") -> dict:
     }
 
 
-def write_bench(path: Optional[Path] = None, reps: int = 5) -> dict:
+def write_bench(
+    path: Optional[Path] = None,
+    reps: int = 5,
+    history: Optional[Path] = DEFAULT_HISTORY,
+) -> dict:
+    """Run the bench, write the baseline JSON and append to the history.
+
+    Pass ``history=None`` to skip the history append (tests do).
+    """
     path = path or DEFAULT_OUTPUT
     payload = run_bench(reps=reps)
     path.write_text(json.dumps(payload, indent=2) + "\n")
+    if history is not None:
+        append_history(history_record(payload), history)
     return payload
+
+
+def history_record(payload: dict) -> dict:
+    """Compact ``history.jsonl`` record for an interpreter bench payload.
+
+    Only the machine-normalized figures survive into history — absolute
+    instr/s rates are runner-dependent and would make the rolling median
+    meaningless across CI machines.
+    """
+    return {
+        "kind": "interp",
+        "t": round(time.time(), 1),
+        "machine_ops_per_s": payload["machine_ops_per_s"],
+        "configs": [
+            {
+                "workload": c["workload"],
+                "mode": c["mode"],
+                "bits": c["bits"],
+                "normalized_fast": c["normalized_fast"],
+            }
+            for c in payload["configs"]
+        ],
+    }
+
+
+def grid_history_record(payload: dict) -> dict:
+    """Compact ``history.jsonl`` record for a grid bench payload."""
+    grid = payload["grid"]
+    return {
+        "kind": "grid",
+        "t": round(time.time(), 1),
+        "machine_ops_per_s": payload["machine_ops_per_s"],
+        "normalized_replay": grid["normalized_replay"],
+        "identical": grid["identical"],
+    }
+
+
+def append_history(record: dict, path: Optional[Path] = None) -> Path:
+    """Append one record to the bench history JSONL (creating it)."""
+    path = path or DEFAULT_HISTORY
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as file:
+        file.write(json.dumps(record, separators=(",", ":")) + "\n")
+    return path
+
+
+def load_history(path: Optional[Path] = None) -> List[dict]:
+    """Parse the history JSONL, tolerating missing files and bad lines."""
+    path = path or DEFAULT_HISTORY
+    records: List[dict] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def check_history(
+    current: dict,
+    path: Optional[Path] = None,
+    tolerance: float = REGRESSION_TOLERANCE,
+    window: int = HISTORY_WINDOW,
+) -> List[str]:
+    """Gate ``current`` rates against the rolling median of the history.
+
+    Per config, the floor is ``median(last window records) * (1 -
+    tolerance)``. A single outlier record therefore cannot poison the
+    gate the way a single committed baseline can. An empty or missing
+    history passes trivially (the first run seeds it).
+    """
+    records = [
+        r for r in load_history(path) if r.get("kind", "interp") == "interp"
+    ][-window:]
+    by_key: dict = {}
+    for record in records:
+        for c in record.get("configs", []):
+            value = c.get("normalized_fast")
+            if isinstance(value, (int, float)):
+                by_key.setdefault(
+                    (c.get("workload"), c.get("mode"), c.get("bits")), []
+                ).append(value)
+    failures = []
+    for c in current["configs"]:
+        key = (c["workload"], c["mode"], c["bits"])
+        values = by_key.get(key)
+        if not values:
+            continue
+        median = statistics.median(values)
+        floor = median * (1.0 - tolerance)
+        if c["normalized_fast"] < floor:
+            failures.append(
+                f"{key}: normalized fast rate {c['normalized_fast']:.4f} "
+                f"is below {floor:.4f} (rolling median of "
+                f"{len(values)} record(s) {median:.4f} - {tolerance:.0%})"
+            )
+    return failures
 
 
 def check_bench(
     path: Optional[Path] = None,
     reps: int = 3,
     tolerance: float = REGRESSION_TOLERANCE,
+    history: Optional[Path] = DEFAULT_HISTORY,
 ) -> List[str]:
-    """Compare current normalized rates against the committed baseline.
+    """Compare current rates against the baseline AND the history median.
 
-    Returns a list of human-readable failures (empty = pass).
+    One timing pass feeds both gates. Returns a list of human-readable
+    failures (empty = pass). ``history=None`` skips the history gate.
     """
     path = path or DEFAULT_OUTPUT
     baseline = json.loads(path.read_text())
@@ -138,6 +262,8 @@ def check_bench(
                 f"is below {floor:.4f} "
                 f"(committed {base['normalized_fast']:.4f} - {tolerance:.0%})"
             )
+    if history is not None:
+        failures.extend(check_history(current, history, tolerance=tolerance))
     return failures
 
 
@@ -231,15 +357,21 @@ def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
 
 
 def write_grid_bench(
-    path: Optional[Path] = None, reps: int = 3, scale: str = "default"
+    path: Optional[Path] = None,
+    reps: int = 3,
+    scale: str = "default",
+    history: Optional[Path] = DEFAULT_HISTORY,
 ) -> dict:
     path = path or DEFAULT_GRID_OUTPUT
     payload = run_grid_bench(reps=reps, scale=scale)
     path.write_text(json.dumps(payload, indent=2) + "\n")
+    if history is not None:
+        append_history(grid_history_record(payload), history)
     return payload
 
 
 def format_grid_bench(payload: dict) -> str:
+    """One-line human summary of a grid bench payload."""
     grid = payload["grid"]
     verdict = "bit-identical" if grid["identical"] else "RESULTS DIVERGED"
     return (
@@ -254,6 +386,7 @@ def format_grid_bench(payload: dict) -> str:
 
 
 def format_bench(payload: dict) -> str:
+    """Multi-line human summary of an interpreter bench payload."""
     lines = [
         f"machine score: {payload['machine_ops_per_s']:,.0f} loop-ops/s "
         f"(median of {payload['reps']} reps per config)"

@@ -83,10 +83,12 @@ class Array:
 
     @property
     def element_bytes(self) -> int:
+        """Element size in bytes (2 or 4)."""
         return self.element_bits // 8
 
     @property
     def value_mask(self) -> int:
+        """All-ones mask of the element width."""
         return (1 << self.element_bits) - 1
 
 
@@ -103,16 +105,22 @@ class Expr:
 
 @dataclass(frozen=True)
 class Const(Expr):
+    """A 32-bit integer literal."""
+
     value: int
 
 
 @dataclass(frozen=True)
 class Var(Expr):
+    """A reference to a scalar temporary or loop variable."""
+
     name: str
 
 
 @dataclass(frozen=True)
 class Load(Expr):
+    """A full-element read ``array[index]``."""
+
     array: str
     index: Expr
 
@@ -139,6 +147,8 @@ class SubwordLoad(Expr):
 
 @dataclass(frozen=True)
 class BinOp(Expr):
+    """A binary arithmetic/logical operation on two expressions."""
+
     op: str  # + - * & | ^ << >>
     lhs: Expr
     rhs: Expr
@@ -197,12 +207,16 @@ class Stmt:
 
 @dataclass
 class Assign(Stmt):
+    """Bind a scalar temporary: ``var = expr``."""
+
     var: str
     expr: Expr
 
 
 @dataclass
 class Store(Stmt):
+    """Write (or accumulate into) ``array[index]``."""
+
     array: str
     index: Expr
     expr: Expr
@@ -211,6 +225,8 @@ class Store(Stmt):
 
 @dataclass
 class Loop(Stmt):
+    """An affine counted loop ``for var in range(start, end, step)``."""
+
     var: str
     start: int
     end: int
@@ -242,12 +258,15 @@ class Kernel:
     scalars: Tuple[str, ...] = ()
 
     def array(self, name: str) -> Array:
+        """The declared array named ``name`` (KeyError if absent)."""
         return self.arrays[name]
 
     def inputs(self) -> List[Array]:
+        """Arrays the kernel reads (``input`` and ``inout``)."""
         return [a for a in self.arrays.values() if a.kind in ("input", "inout")]
 
     def outputs(self) -> List[Array]:
+        """Arrays the kernel writes (``output`` and ``inout``)."""
         return [a for a in self.arrays.values() if a.kind in ("output", "inout")]
 
     def validate(self) -> None:
@@ -284,6 +303,7 @@ def _walk_statement_exprs(stmt: Stmt):
 
 
 def walk_exprs(expr: Expr):
+    """Yield ``expr`` and every sub-expression, depth-first."""
     yield expr
     if isinstance(expr, BinOp):
         yield from walk_exprs(expr.lhs)

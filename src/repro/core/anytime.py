@@ -23,6 +23,7 @@ from ..compiler.codegen import CompiledKernel, compile_kernel
 from ..compiler.ir import Kernel, evaluate
 from ..compiler.passes.swp import apply_swp
 from ..compiler.passes.swv import apply_swv
+from ..observability.profiler import PROFILER
 from ..observability.tracer import TRACER
 from ..power.capacitor import Capacitor
 from ..power.energy import EnergyModel
@@ -195,6 +196,12 @@ class AnytimeKernel:
             )
         executor = IntermittentExecutor(cpu, supply, policy)
         result = executor.run(max_wall_ms=max_wall_ms)
+        if PROFILER.enabled:
+            # Per-PC retire counters survive the whole run (only a
+            # .stats read flushes them); fold them before anything does.
+            PROFILER.collect_cpu(
+                cpu, f"{self.compiled.program.name}/{runtime}"
+            )
         if TRACER.enabled and self.config.memoization:
             # One aggregate event per sample: the memo table counts its
             # own hits/misses in the multiply path, so the hot loop pays

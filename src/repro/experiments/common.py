@@ -33,8 +33,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.anytime import AnytimeConfig, AnytimeKernel
 from ..core.quality import nrmse
+from ..observability.ledger import LEDGER_ENV, merge_bucket_dicts
 from ..observability.manifest import record_result
 from ..observability.metrics import METRICS_ENV, Metrics
+from ..observability.profiler import PROFILER
 from ..observability.tracer import TRACER
 from ..power.capacitor import Capacitor
 from ..power.energy import EnergyModel
@@ -108,11 +110,13 @@ def calibrate_environment(
 class SampleRun:
     """One intermittent execution of one input sample.
 
-    ``metrics`` carries the per-sample :class:`Metrics` rollup as a
-    plain dict (pickle-friendly across the ``REPRO_JOBS`` pool). It is
-    excluded from equality/repr so differential comparisons — replay vs
-    interpreter, serial vs parallel — keep comparing the six result
-    fields only."""
+    ``metrics`` carries the per-sample :class:`Metrics` rollup and
+    ``ledger`` the forward-progress bucket split
+    (:meth:`~repro.observability.ledger.ProgressLedger.bucket_dict`),
+    both as plain dicts (pickle-friendly across the ``REPRO_JOBS``
+    pool). They are excluded from equality/repr so differential
+    comparisons — replay vs interpreter, serial vs parallel — keep
+    comparing the six result fields only."""
 
     wall_ms: int
     on_ms: int
@@ -121,6 +125,7 @@ class SampleRun:
     skim_taken: bool
     error: float
     metrics: Optional[dict] = field(default=None, compare=False, repr=False)
+    ledger: Optional[dict] = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -157,6 +162,20 @@ class BenchmarkResult:
                 merged.merge(Metrics.from_dict(run.metrics))
         return merged
 
+    def merged_ledger(self) -> Optional[dict]:
+        """Merge every sample's progress-ledger buckets into one rollup.
+
+        Bucket sums are associative integers/floats merged in grid
+        order, so — like :meth:`merged_metrics` — serial and
+        ``REPRO_JOBS`` runs produce identical rollups (asserted in
+        ``tests/test_profiler_ledger.py``). ``None`` when no sample
+        carried a ledger (ad-hoc pre-ledger SampleRuns)."""
+        merged: Optional[dict] = None
+        for run in self.runs:
+            if run.ledger:
+                merged = merge_bucket_dicts(merged, run.ledger)
+        return merged
+
 
 def build_anytime(workload: Workload, mode: str, bits: Optional[int] = None,
                   **config_kwargs) -> AnytimeKernel:
@@ -182,15 +201,18 @@ _jobs_warning_emitted = False
 def experiment_jobs() -> int:
     """Worker-process count from ``REPRO_JOBS`` (default 1 = serial).
 
-    An unparseable value falls back to serial with a single stderr
-    warning per process (not one per benchmark)."""
+    An unparseable value — and a parseable but meaningless one like
+    ``0`` or a negative count — falls back to serial with a single
+    stderr warning per process (not one per benchmark)."""
     global _jobs_warning_emitted
     raw = os.environ.get("REPRO_JOBS", "").strip()
     if not raw:
         return 1
     try:
-        return max(1, int(raw))
+        jobs = int(raw)
     except ValueError:
+        jobs = 0  # flows into the same warn-once fallback below
+    if jobs < 1:
         if not _jobs_warning_emitted:
             _jobs_warning_emitted = True
             print(
@@ -199,6 +221,7 @@ def experiment_jobs() -> int:
                 file=sys.stderr,
             )
         return 1
+    return jobs
 
 
 def experiment_replay() -> bool:
@@ -284,6 +307,14 @@ def _sample_metrics(run, engine: str, fallback: bool, error: float) -> dict:
     return metrics.to_dict()
 
 
+def _sample_ledger(run, energy: EnergyModel) -> dict:
+    """The per-sample forward-progress buckets, as a picklable dict.
+
+    Priced at this sample's energy model (NVP's backup tax included),
+    so energy buckets sum to the sample's total energy exactly."""
+    return run.result.ledger.bucket_dict(energy.energy_per_cycle)
+
+
 def _run_sample(spec: SampleSpec) -> SampleRun:
     """Execute one (trace, invocation) sample; runs in a worker process."""
     from ..workloads import make_workload
@@ -332,6 +363,14 @@ def _run_sample(spec: SampleSpec) -> SampleRun:
                     mode=spec.mode, bits=spec.bits,
                     replayable=record.replayable,
                     reason=record.reason or None, length=record.length,
+                )
+            if PROFILER.enabled and record.replayable:
+                # One folded profile per configuration (the replayed
+                # samples all consume this same recorded stream).
+                PROFILER.collect_record(
+                    record,
+                    kernel.compiled.program,
+                    f"{kernel.compiled.program.name}/{spec.runtime}",
                 )
         if record.replayable:
             try:
@@ -396,6 +435,7 @@ def _run_sample(spec: SampleSpec) -> SampleRun:
         skim_taken=run.result.skim_taken,
         error=error,
         metrics=_sample_metrics(run, engine, fallback, error),
+        ledger=_sample_ledger(run, energy),
     )
 
 
@@ -479,6 +519,21 @@ def _finish_result(
         }
         with open(path, "a", encoding="utf-8") as file:
             file.write(json.dumps(line, separators=(",", ":")) + "\n")
+    ledger_path = os.environ.get(LEDGER_ENV, "").strip()
+    if ledger_path:
+        ledger = result.merged_ledger()
+        if ledger is not None:
+            line = {
+                "workload": result.name,
+                "mode": result.mode,
+                "bits": result.bits,
+                "runtime": result.runtime,
+                "engine": engine,
+                "samples": len(result.runs),
+                "ledger": ledger,
+            }
+            with open(ledger_path, "a", encoding="utf-8") as file:
+                file.write(json.dumps(line, separators=(",", ":")) + "\n")
     return result
 
 
@@ -562,6 +617,7 @@ def run_benchmark(
                     skim_taken=run.result.skim_taken,
                     error=error,
                     metrics=_sample_metrics(run, "interp", False, error),
+                    ledger=_sample_ledger(run, energy),
                 )
             )
     return _finish_result(result, setup)

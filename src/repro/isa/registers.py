@@ -39,9 +39,11 @@ class Flags:
         self.v = v
 
     def snapshot(self) -> tuple:
+        """The four flags as an immutable (n, z, c, v) tuple."""
         return (self.n, self.z, self.c, self.v)
 
     def restore(self, snap: tuple) -> None:
+        """Load flags from a :meth:`snapshot` tuple."""
         self.n, self.z, self.c, self.v = snap
 
     def reset(self) -> None:
@@ -49,6 +51,7 @@ class Flags:
         self.n = self.z = self.c = self.v = False
 
     def set_nz(self, result: int) -> None:
+        """Update N/Z from a 32-bit result (C/V untouched)."""
         result &= MASK32
         self.n = bool(result & 0x80000000)
         self.z = result == 0
@@ -102,12 +105,15 @@ class RegisterFile:
         self.regs[index] = value & MASK32
 
     def signed(self, index: int) -> int:
+        """Register value reinterpreted as signed 32-bit."""
         return to_signed(self.regs[index])
 
     def snapshot(self) -> List[int]:
+        """A copy of all register values."""
         return list(self.regs)
 
     def restore(self, snap: Iterable[int]) -> None:
+        """Load registers from a :meth:`snapshot` copy, in place."""
         snap = list(snap)
         if len(snap) != NUM_REGS:
             raise ValueError("register snapshot has wrong length")

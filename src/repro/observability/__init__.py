@@ -11,9 +11,25 @@ The always-available instrumentation layer of the reproduction (see
 * :class:`RunManifest` — provenance stamps (git SHA, setup, engine,
   metric rollups) for experiment runs (``REPRO_MANIFEST=<path>``);
 * :func:`summarize_trace` / :func:`format_summary` — the engine behind
-  ``python -m repro trace summarize <file>``.
+  ``python -m repro trace summarize <file>``;
+* :data:`PROFILER` / :class:`Profiler` — per-PC/per-region cycle
+  profiling to folded stacks, armed by ``REPRO_PROFILE=<path>`` (see
+  ``docs/PROFILING.md``);
+* :class:`ProgressLedger` — forward-progress cycle/energy attribution
+  (useful / re-executed / checkpoint / restore / dead buckets), rolled
+  up per configuration via ``REPRO_LEDGER=<path>``;
+* :func:`render_report` / :func:`render_html_report` — the run
+  dashboard behind ``python -m repro report [--html]``.
 """
 
+from .dashboard import ReportData, load_report_data, render_html_report, render_report
+from .ledger import (
+    BUCKETS,
+    LEDGER_ENV,
+    ProgressLedger,
+    ledger_path_from_env,
+    merge_bucket_dicts,
+)
 from .manifest import (
     MANIFEST_ENV,
     RunManifest,
@@ -25,16 +41,39 @@ from .manifest import (
     record_result,
 )
 from .metrics import METRICS_ENV, Histogram, Metrics
-from .summarize import SampleTrace, TraceSummary, format_summary, summarize_trace
+from .profiler import (
+    PROFILE_ENV,
+    PROFILER,
+    Profiler,
+    fold_cpu,
+    fold_record,
+    format_folded,
+    profile_path_from_env,
+    region_rows,
+)
+from .summarize import (
+    SampleTrace,
+    TraceSummary,
+    format_summary,
+    summarize_trace,
+    summary_to_dict,
+)
 from .tracer import TRACE_ENV, TRACER, Tracer, init_from_env
 
 __all__ = [
+    "BUCKETS",
+    "LEDGER_ENV",
     "MANIFEST_ENV",
     "METRICS_ENV",
+    "PROFILE_ENV",
+    "PROFILER",
     "TRACE_ENV",
     "TRACER",
     "Histogram",
     "Metrics",
+    "Profiler",
+    "ProgressLedger",
+    "ReportData",
     "RunManifest",
     "SampleTrace",
     "TraceSummary",
@@ -42,10 +81,21 @@ __all__ = [
     "active_manifest",
     "begin_manifest",
     "finish_manifest",
+    "fold_cpu",
+    "fold_record",
+    "format_folded",
     "format_summary",
     "git_sha",
     "init_from_env",
+    "ledger_path_from_env",
+    "load_report_data",
     "manifest_path_from_env",
+    "merge_bucket_dicts",
+    "profile_path_from_env",
     "record_result",
+    "region_rows",
+    "render_html_report",
+    "render_report",
     "summarize_trace",
+    "summary_to_dict",
 ]

@@ -1,0 +1,534 @@
+"""Rendered run dashboard: one page for a whole experiment run.
+
+``python -m repro report`` walks the observability artifacts one run
+produces — the :mod:`manifest <repro.observability.manifest>`, the
+``REPRO_METRICS`` per-configuration rollups, the ``REPRO_LEDGER``
+forward-progress buckets, a ``REPRO_TRACE`` summary and the bench
+history (``benchmarks/results/history.jsonl``) — and renders either a
+plain-text report (reusing :func:`repro.experiments.report.format_table`
+rows) or, with ``--html``, one **self-contained** HTML page: stdlib
+only, inline CSS, no external scripts or fonts, so the CI artifact
+opens anywhere.
+
+Every input is optional; sections render for whatever artifacts exist.
+The per-configuration table computes speedup against the ``precise``
+configuration of the same (workload, runtime) and mean NRMSE from the
+metrics histograms — the same quantities the experiment tables print —
+so the page is a readable cross-check, not a new source of truth.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .ledger import BUCKETS
+
+#: Human labels for the ledger buckets, in display order.
+BUCKET_LABELS = {
+    "useful": "useful progress",
+    "reexec": "re-executed",
+    "checkpoint": "checkpoint",
+    "restore": "restore",
+    "dead": "dead at outage",
+}
+
+
+@dataclass
+class ReportData:
+    """Everything the dashboard can show, already parsed."""
+
+    manifest: Optional[dict] = None
+    metrics_rows: List[dict] = field(default_factory=list)
+    ledger_rows: List[dict] = field(default_factory=list)
+    trace: Optional[dict] = None
+    history: List[dict] = field(default_factory=list)
+
+
+def _load_jsonl(path: str) -> List[dict]:
+    rows = []
+    with open(path, "r", encoding="utf-8") as file:
+        for line in file:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                continue  # tolerate partial/garbage lines, like summarize
+            if isinstance(row, dict):
+                rows.append(row)
+    return rows
+
+
+def load_report_data(
+    manifest: Optional[str] = None,
+    metrics: Optional[str] = None,
+    ledger: Optional[str] = None,
+    trace: Optional[str] = None,
+    history: Optional[str] = None,
+) -> ReportData:
+    """Parse the artifact files the caller has; each path is optional.
+
+    ``trace`` accepts a raw ``REPRO_TRACE`` JSONL file (it is summarized
+    here). Unreadable paths raise ``OSError`` — the CLI turns that into
+    a friendly error — but a missing *history* file is treated as an
+    empty history, since a first run legitimately predates it.
+    """
+    data = ReportData()
+    if manifest:
+        with open(manifest, "r", encoding="utf-8") as file:
+            data.manifest = json.load(file)
+    if metrics:
+        data.metrics_rows = _load_jsonl(metrics)
+    if ledger:
+        data.ledger_rows = _load_jsonl(ledger)
+    if trace:
+        from .summarize import summarize_trace, summary_to_dict
+
+        data.trace = summary_to_dict(summarize_trace(trace))
+    if history:
+        try:
+            data.history = _load_jsonl(history)
+        except OSError:
+            data.history = []
+    return data
+
+
+# -- row building ----------------------------------------------------------
+
+
+def _config_key(row: dict) -> Tuple:
+    return (row.get("workload"), row.get("mode"), row.get("bits"),
+            row.get("runtime"))
+
+
+def _config_label(row: dict) -> str:
+    bits = row.get("bits")
+    mode = row.get("mode", "?")
+    return (
+        f"{row.get('workload', '?')}/{mode}{'' if bits is None else bits}"
+        f"/{row.get('runtime', '?')}"
+    )
+
+
+def _result_rows(data: ReportData) -> List[dict]:
+    """Per-configuration entries, manifest first, metrics JSONL fallback."""
+    if data.manifest and data.manifest.get("results"):
+        return data.manifest["results"]
+    return data.metrics_rows
+
+
+def _hist_mean(metrics: dict, name: str) -> Optional[float]:
+    hist = (metrics or {}).get("histograms", {}).get(name)
+    if not hist or not hist.get("count"):
+        return None
+    return hist["sum"] / hist["count"]
+
+
+def config_table_rows(data: ReportData) -> List[List[str]]:
+    """Per-config rows: label, engine, samples, wall, speedup, NRMSE, ...
+
+    Headers are :data:`CONFIG_HEADERS`; speedup is the mean wall-clock
+    of the same (workload, runtime) ``precise`` configuration divided by
+    this configuration's (blank when there is no precise baseline).
+    """
+    results = _result_rows(data)
+    baselines: Dict[Tuple, float] = {}
+    for row in results:
+        if row.get("mode") == "precise":
+            wall = _hist_mean(row.get("metrics"), "wall_ms")
+            if wall:
+                baselines[(row.get("workload"), row.get("runtime"))] = wall
+    rows = []
+    for row in results:
+        metrics = row.get("metrics") or {}
+        wall = _hist_mean(metrics, "wall_ms")
+        error = _hist_mean(metrics, "error")
+        outages = metrics.get("counters", {}).get("outages", 0)
+        skims = metrics.get("counters", {}).get("skims_taken", 0)
+        samples = row.get("samples", 0) or 0
+        base = baselines.get((row.get("workload"), row.get("runtime")))
+        speedup = (base / wall) if (base and wall) else None
+        rows.append([
+            _config_label(row),
+            str(row.get("engine", "?")),
+            str(samples),
+            "-" if wall is None else f"{wall:.0f}",
+            "-" if speedup is None else f"{speedup:.2f}x",
+            "-" if error is None else f"{error:.2f}",
+            str(outages),
+            "-" if not samples else f"{skims / samples:.2f}",
+        ])
+    return rows
+
+
+CONFIG_HEADERS = (
+    "config", "engine", "samples", "wall ms", "speedup",
+    "NRMSE %", "outages", "skim rate",
+)
+
+
+def ledger_share_rows(data: ReportData) -> List[List[str]]:
+    """Per-config bucket shares (percent of total cycles) plus totals."""
+    rows = []
+    for row in data.ledger_rows:
+        ledger = row.get("ledger") or {}
+        cycles = ledger.get("cycles") or {}
+        total = ledger.get("total_cycles", 0) or 0
+        shares = [
+            "-" if not total else f"{100.0 * cycles.get(b, 0) / total:.1f}%"
+            for b in BUCKETS
+        ]
+        rows.append(
+            [_config_label(row)] + shares
+            + [str(total), f"{ledger.get('total_energy_j', 0.0):.3e}"]
+        )
+    return rows
+
+
+LEDGER_HEADERS = ("config",) + BUCKETS + ("cycles", "energy J")
+
+
+def fallback_rows(data: ReportData) -> List[List[str]]:
+    """Fallback-reason census from the trace summary (if present)."""
+    if not data.trace:
+        return []
+    reasons = data.trace.get("fallback_reasons") or {}
+    return [[str(count), reason] for reason, count in reasons.items()]
+
+
+def history_series(data: ReportData) -> List[float]:
+    """Machine-normalized interpreter throughput per bench-history record.
+
+    One value per ``kind == "interp"`` record: the mean ``normalized_fast``
+    across its configs (instructions per second per unit of machine
+    score — the dimensionless figure ``--check`` gates on).
+    """
+    series = []
+    for record in data.history:
+        if record.get("kind", "interp") != "interp":
+            continue
+        values = [
+            cfg.get("normalized_fast")
+            for cfg in record.get("configs", [])
+            if isinstance(cfg.get("normalized_fast"), (int, float))
+        ]
+        if values:
+            series.append(sum(values) / len(values))
+    return series
+
+
+# -- text rendering --------------------------------------------------------
+
+
+def render_report(data: ReportData) -> str:
+    """The plain-text dashboard (``python -m repro report``)."""
+    from ..experiments.report import format_table
+
+    parts: List[str] = []
+    manifest = data.manifest
+    if manifest:
+        parts.append(
+            f"run: {manifest.get('command') or '?'}  "
+            f"git {str(manifest.get('git_sha'))[:12]}  "
+            f"python {manifest.get('python')}"
+        )
+    config_rows = config_table_rows(data)
+    if config_rows:
+        parts.append(format_table(CONFIG_HEADERS, config_rows,
+                                  title="Configurations"))
+    ledger_rows = ledger_share_rows(data)
+    if ledger_rows:
+        parts.append(format_table(LEDGER_HEADERS, ledger_rows,
+                                  title="Forward progress (share of cycles)"))
+    fb_rows = fallback_rows(data)
+    if data.trace:
+        title = "Replay fallbacks"
+        if fb_rows:
+            parts.append(format_table(("count", "reason"), fb_rows, title=title))
+        else:
+            parts.append(f"{title}\n{'=' * len(title)}\nnone")
+    series = history_series(data)
+    if series:
+        parts.append(
+            f"bench history: {len(series)} record(s), "
+            f"latest {series[-1]:.3g}, median {_median(series):.3g} "
+            "(normalized interpreter throughput)"
+        )
+    if not parts:
+        parts.append("nothing to report: pass --manifest/--metrics/"
+                     "--ledger/--trace/--history")
+    return "\n\n".join(parts)
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+# -- HTML rendering --------------------------------------------------------
+
+#: Categorical palette slots 1-5 (light, dark), assigned to the ledger
+#: buckets in fixed order. The order is the validated adjacent-pair
+#: ordering of the reference palette; bucket text never wears these.
+_SERIES = (
+    ("#2a78d6", "#3987e5"),
+    ("#eb6834", "#d95926"),
+    ("#1baf7a", "#199e70"),
+    ("#eda100", "#c98500"),
+    ("#e87ba4", "#d55181"),
+)
+
+_CSS = """
+:root { color-scheme: light dark; }
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+  --series-5: #e87ba4;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page);
+  color: var(--text-primary);
+  margin: 0;
+  padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+    --series-5: #d55181;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --muted: #898781;
+  --grid: #2c2c2a;
+  --baseline: #383835;
+  --border: rgba(255,255,255,0.10);
+  --series-1: #3987e5;
+  --series-2: #d95926;
+  --series-3: #199e70;
+  --series-4: #c98500;
+  --series-5: #d55181;
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 15px; margin: 28px 0 8px; }
+.viz-root .prov { color: var(--text-secondary); font-size: 13px; margin: 0 0 16px; }
+.viz-root section {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 16px 18px;
+  margin: 0 0 16px;
+}
+.viz-root table { border-collapse: collapse; font-size: 13px; width: 100%; }
+.viz-root th {
+  text-align: left; color: var(--text-secondary); font-weight: 600;
+  border-bottom: 1px solid var(--baseline); padding: 4px 10px 4px 0;
+}
+.viz-root td {
+  padding: 4px 10px 4px 0; border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+.viz-root td.num, .viz-root th.num { text-align: right; }
+.viz-root .bar-row { margin: 10px 0; }
+.viz-root .bar-label { font-size: 13px; color: var(--text-primary); margin-bottom: 3px; }
+.viz-root .bar {
+  display: flex; gap: 2px; height: 16px; background: var(--surface-1);
+}
+.viz-root .bar span { display: block; height: 100%; border-radius: 2px; }
+.viz-root .legend {
+  display: flex; flex-wrap: wrap; gap: 14px; margin: 8px 0 2px;
+  font-size: 12px; color: var(--text-secondary);
+}
+.viz-root .legend i {
+  display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+  margin-right: 5px; vertical-align: -1px;
+}
+.viz-root .spark-note { font-size: 12px; color: var(--muted); margin-top: 4px; }
+.viz-root .empty { color: var(--muted); font-size: 13px; }
+"""
+
+
+_NUM = ' class="num"'
+
+
+def _html_table(headers, rows, numeric_from: int = 1) -> str:
+    head = "".join(
+        f"<th{_NUM if i >= numeric_from else ''}>{html.escape(str(h))}</th>"
+        for i, h in enumerate(headers)
+    )
+    body = []
+    for row in rows:
+        cells = "".join(
+            f"<td{_NUM if i >= numeric_from else ''}>{html.escape(str(c))}</td>"
+            for i, c in enumerate(row)
+        )
+        body.append(f"<tr>{cells}</tr>")
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table>"
+    )
+
+
+def _bucket_bars(data: ReportData) -> str:
+    parts = []
+    legend = "".join(
+        f'<span><i style="background:var(--series-{i + 1})"></i>'
+        f"{html.escape(BUCKET_LABELS[bucket])}</span>"
+        for i, bucket in enumerate(BUCKETS)
+    )
+    parts.append(f'<div class="legend">{legend}</div>')
+    for row in data.ledger_rows:
+        ledger = row.get("ledger") or {}
+        cycles = ledger.get("cycles") or {}
+        total = ledger.get("total_cycles", 0) or 0
+        if not total:
+            continue
+        segments = []
+        for i, bucket in enumerate(BUCKETS):
+            share = 100.0 * cycles.get(bucket, 0) / total
+            if share <= 0:
+                continue
+            title = f"{BUCKET_LABELS[bucket]}: {share:.1f}%"
+            segments.append(
+                f'<span style="width:{share:.2f}%;'
+                f'background:var(--series-{i + 1})" title="{html.escape(title)}">'
+                "</span>"
+            )
+        label = html.escape(_config_label(row))
+        useful = 100.0 * cycles.get("useful", 0) / total
+        parts.append(
+            f'<div class="bar-row"><div class="bar-label">{label} '
+            f'<span style="color:var(--text-secondary)">'
+            f"— {useful:.1f}% useful of {total:,} cycles</span></div>"
+            f'<div class="bar">{"".join(segments)}</div></div>'
+        )
+    return "".join(parts)
+
+
+def _sparkline(series: List[float]) -> str:
+    width, height, pad = 360, 56, 4
+    if len(series) == 1:
+        series = series * 2  # a single record still draws a flat line
+    lo, hi = min(series), max(series)
+    span = (hi - lo) or 1.0
+    step = (width - 2 * pad) / (len(series) - 1)
+    points = " ".join(
+        f"{pad + i * step:.1f},"
+        f"{height - pad - (value - lo) / span * (height - 2 * pad):.1f}"
+        for i, value in enumerate(series)
+    )
+    return (
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="bench history sparkline">'
+        f'<polyline points="{points}" fill="none" '
+        'stroke="var(--series-1)" stroke-width="2" '
+        'stroke-linejoin="round" stroke-linecap="round"/></svg>'
+    )
+
+
+def render_html_report(data: ReportData, title: str = "repro run report") -> str:
+    """The self-contained HTML dashboard (``python -m repro report --html``)."""
+    sections: List[str] = []
+
+    manifest = data.manifest
+    prov = ""
+    if manifest:
+        prov = (
+            f"{manifest.get('command') or '?'} · "
+            f"git {str(manifest.get('git_sha'))[:12]} · "
+            f"python {manifest.get('python')} · "
+            f"{manifest.get('platform', '')}"
+        )
+
+    config_rows = config_table_rows(data)
+    if config_rows:
+        sections.append(
+            "<section><h2>Configurations</h2>"
+            + _html_table(CONFIG_HEADERS, config_rows, numeric_from=2)
+            + "</section>"
+        )
+
+    if data.ledger_rows:
+        sections.append(
+            "<section><h2>Forward progress — where the cycles went</h2>"
+            + _bucket_bars(data)
+            + _html_table(LEDGER_HEADERS, ledger_share_rows(data))
+            + "</section>"
+        )
+
+    if data.trace:
+        fb = fallback_rows(data)
+        body = (
+            _html_table(("count", "reason"), fb, numeric_from=99)
+            if fb else '<p class="empty">none</p>'
+        )
+        samples = data.trace.get("samples", {})
+        sections.append(
+            "<section><h2>Replay fallbacks</h2>"
+            f'<p class="prov">{samples.get("total", 0)} samples '
+            f'({html.escape(json.dumps(samples.get("engines", {})))}), '
+            f'{data.trace.get("outages", 0)} outages</p>'
+            + body + "</section>"
+        )
+
+    series = history_series(data)
+    if series:
+        sections.append(
+            "<section><h2>Bench history</h2>"
+            + _sparkline(series)
+            + f'<div class="spark-note">normalized interpreter throughput, '
+            f"{len(series)} record(s): min {min(series):.3g}, "
+            f"latest {series[-1]:.3g}</div></section>"
+        )
+
+    if not sections:
+        sections.append(
+            '<section><p class="empty">nothing to report: pass '
+            "--manifest/--metrics/--ledger/--trace/--history</p></section>"
+        )
+
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        f"<title>{html.escape(title)}</title>"
+        '<meta name="viewport" content="width=device-width, initial-scale=1">'
+        f"<style>{_CSS}</style></head>"
+        '<body class="viz-root"><h1>'
+        + html.escape(title)
+        + "</h1>"
+        + (f'<p class="prov">{html.escape(prov)}</p>' if prov else "")
+        + "".join(sections)
+        + "</body></html>\n"
+    )

@@ -1,0 +1,208 @@
+"""Forward-progress ledger: where every intermittent cycle (and joule) goes.
+
+The paper's headline claims are attribution claims — WN wins because a
+larger share of the harvested energy becomes *forward progress* instead
+of re-execution and checkpoint overhead (§V-F). The
+:class:`ProgressLedger` makes that measurable: both intermittent
+executors (live interpreter and replay) charge every cycle the supply
+consumes to exactly one of five buckets:
+
+* ``useful``      — first-time program work that became durable (it was
+  covered by a checkpoint/snapshot, survived to completion, or ran on a
+  non-volatile core);
+* ``reexec``      — program work re-covering ground that an earlier
+  power cycle already executed and then lost (the rollback catch-up);
+* ``checkpoint``  — cycles paid saving state (WAR/watchdog checkpoints,
+  Hibernus snapshots), as actually funded by the supply;
+* ``restore``     — cycles paid rebuilding state after an outage;
+* ``dead``        — program work discarded at an outage (executed, then
+  rolled back, to be paid for again).
+
+Accounting is *payment-exact*: buckets only ever record cycles the
+supply actually funded, so for every sample the bucket sum equals
+``RunResult.active_cycles`` to the cycle (asserted in
+``tests/test_profiler_ledger.py``). Energy buckets are the cycle
+buckets priced at the sample's :class:`~repro.power.energy.EnergyModel`
+rate (which is how NVP's per-cycle backup tax shows up), so they sum to
+the sample's total energy by construction.
+
+The waste split uses a **re-execution debt** model: when an outage
+discards ``d`` uncommitted cycles they are booked ``dead`` and ``d``
+cycles of debt are queued; after the restore, program cycles repay the
+debt first (booked ``reexec`` once durable) before fresh work counts as
+``useful`` again. The stream is deterministic, so the repaid cycles
+re-cover exactly the lost segment; configurations with history-dependent
+costs (memoization) can shift a few cycles between ``reexec`` and
+``useful`` but never break the exact total.
+
+Ledgers merge associatively (plain bucket sums), so per-sample ledgers
+roll up per configuration exactly like the PR 3 metrics: serial and
+``REPRO_JOBS`` grids produce identical rollups. Set
+``REPRO_LEDGER=<path>`` to have the harness append one JSON line per
+finished configuration — see ``docs/PROFILING.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+#: Environment variable holding the ledger rollup output path.
+LEDGER_ENV = "REPRO_LEDGER"
+
+#: Bucket names, in reporting order.
+BUCKETS = ("useful", "reexec", "checkpoint", "restore", "dead")
+
+
+def ledger_path_from_env() -> Optional[str]:
+    """The ``REPRO_LEDGER`` output path, or ``None`` when unset/blank."""
+    path = os.environ.get(LEDGER_ENV, "").strip()
+    return path or None
+
+
+class ProgressLedger:
+    """Five-bucket cycle attribution for one intermittent execution.
+
+    The executors drive it with four verbs:
+
+    * :meth:`execute` — program cycles just funded (splits them between
+      re-execution debt repayment and fresh work, held *uncommitted*);
+    * :meth:`overhead` — checkpoint/restore cycles actually paid;
+    * :meth:`commit` — the uncommitted work became durable (a checkpoint
+      or snapshot landed, or the core is non-volatile);
+    * :meth:`discard` — an outage rolled the uncommitted work back.
+
+    :meth:`close` commits whatever remains when the run ends.
+    """
+
+    __slots__ = (
+        "useful", "reexec", "checkpoint", "restore", "dead",
+        "_debt", "_pending_redo", "_pending_fresh",
+    )
+
+    def __init__(self) -> None:
+        self.useful = 0
+        self.reexec = 0
+        self.checkpoint = 0
+        self.restore = 0
+        self.dead = 0
+        #: Cycles of previously-executed-then-lost work still ahead of
+        #: the durable point (what the next power cycles must redo).
+        self._debt = 0
+        self._pending_redo = 0
+        self._pending_fresh = 0
+
+    # -- executor verbs -----------------------------------------------------
+
+    def execute(self, cycles: int) -> None:
+        """Record ``cycles`` of program work, not yet durable."""
+        if cycles <= 0:
+            return
+        redo = self._debt if self._debt < cycles else cycles
+        if redo:
+            self._debt -= redo
+            self._pending_redo += redo
+        self._pending_fresh += cycles - redo
+
+    def overhead(self, kind: str, cycles: int) -> None:
+        """Charge paid runtime overhead: ``kind`` is checkpoint|restore."""
+        if cycles <= 0:
+            return
+        if kind == "restore":
+            self.restore += cycles
+        else:
+            self.checkpoint += cycles
+
+    def commit(self) -> None:
+        """The uncommitted work is durable: book it useful/reexec."""
+        self.reexec += self._pending_redo
+        self.useful += self._pending_fresh
+        self._pending_redo = 0
+        self._pending_fresh = 0
+
+    def discard(self) -> None:
+        """An outage rolled the uncommitted work back: book it dead."""
+        lost = self._pending_redo + self._pending_fresh
+        if lost:
+            self.dead += lost
+            self._debt += lost
+            self._pending_redo = 0
+            self._pending_fresh = 0
+
+    def close(self) -> None:
+        """End of run: whatever executed last is the surviving state."""
+        self.commit()
+
+    # -- aggregation --------------------------------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of all five buckets (== ``active_cycles`` once closed)."""
+        return (
+            self.useful + self.reexec + self.checkpoint
+            + self.restore + self.dead
+        )
+
+    def merge(self, other: "ProgressLedger") -> "ProgressLedger":
+        """Fold another (closed) ledger in; returns self for chaining."""
+        self.useful += other.useful
+        self.reexec += other.reexec
+        self.checkpoint += other.checkpoint
+        self.restore += other.restore
+        self.dead += other.dead
+        return self
+
+    def cycles_dict(self) -> Dict[str, int]:
+        """The five cycle buckets as a plain dict, in reporting order."""
+        return {
+            "useful": self.useful,
+            "reexec": self.reexec,
+            "checkpoint": self.checkpoint,
+            "restore": self.restore,
+            "dead": self.dead,
+        }
+
+    def bucket_dict(self, energy_per_cycle_j: float) -> dict:
+        """Cycle + energy buckets priced at ``energy_per_cycle_j``.
+
+        The pickle-friendly per-sample form the experiment harness puts
+        on :class:`~repro.experiments.common.SampleRun`; energy buckets
+        are exact multiples of the cycle buckets, so both sum exactly.
+        """
+        cycles = self.cycles_dict()
+        return {
+            "cycles": cycles,
+            "energy_j": {
+                name: count * energy_per_cycle_j
+                for name, count in cycles.items()
+            },
+            "total_cycles": self.total_cycles,
+            "total_energy_j": self.total_cycles * energy_per_cycle_j,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v}" for k, v in self.cycles_dict().items())
+        return f"ProgressLedger({parts})"
+
+
+def merge_bucket_dicts(into: Optional[dict], sample: dict) -> dict:
+    """Fold one sample's :meth:`ProgressLedger.bucket_dict` into a rollup.
+
+    Pure dict arithmetic (the dicts crossed the ``REPRO_JOBS`` pickle
+    boundary); addition is associative and the harness merges in grid
+    order, so serial and parallel rollups are identical.
+    """
+    if into is None:
+        return {
+            "cycles": dict(sample["cycles"]),
+            "energy_j": dict(sample["energy_j"]),
+            "total_cycles": sample["total_cycles"],
+            "total_energy_j": sample["total_energy_j"],
+        }
+    for name, count in sample["cycles"].items():
+        into["cycles"][name] = into["cycles"].get(name, 0) + count
+    for name, joules in sample["energy_j"].items():
+        into["energy_j"][name] = into["energy_j"].get(name, 0.0) + joules
+    into["total_cycles"] += sample["total_cycles"]
+    into["total_energy_j"] += sample["total_energy_j"]
+    return into

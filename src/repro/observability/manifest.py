@@ -34,7 +34,10 @@ from typing import List, Optional
 MANIFEST_ENV = "REPRO_MANIFEST"
 
 #: Environment knobs worth stamping into every manifest.
-_ENV_KEYS = ("REPRO_JOBS", "REPRO_REPLAY", "REPRO_TRACE", "REPRO_METRICS")
+_ENV_KEYS = (
+    "REPRO_JOBS", "REPRO_REPLAY", "REPRO_TRACE", "REPRO_METRICS",
+    "REPRO_PROFILE", "REPRO_LEDGER",
+)
 
 
 def git_sha(repo_dir: Optional[str] = None) -> Optional[str]:

@@ -1,0 +1,259 @@
+"""Per-PC / per-source-region cycle profiler with folded-stack output.
+
+The fast interpreter already pays for per-PC attribution: every
+pre-decoded CPU keeps parallel retire/taken counters per instruction
+index (see ``CPU._retire_counts`` and
+:meth:`repro.sim.stats.ExecutionStats.absorb_counts`), and every replay
+log carries cycle prefix sums per stream position
+(:class:`~repro.sim.replay.ReplayRecord.cum_cost`). The profiler reads
+those structures *after* a run — there is **zero profiling code in the
+dispatch loop**, armed or not, so the <2% observability overhead gate in
+``benchmarks/test_interp_speed.py`` covers it for free.
+
+Output is the folded-stack ("collapsed") format that ``flamegraph.pl``
+and speedscope load directly: one ``frame;frame;frame count`` line per
+stack, repeated stacks legal (viewers sum them). Our stacks are three
+frames deep::
+
+    <run label>;<source region>;<OP>@<pc> <cycles>
+
+where the source region is the nearest assembler label at or before the
+PC (``L_k_3`` etc. — the loop structure of the kernel), so a flamegraph
+groups cycles by loop nest and a speedscope sandwich view ranks regions.
+Variable-cost cycles the per-PC counters cannot place (data-dependent
+multiplier costs, store-hook checkpoint charges) are attributed to a
+synthetic ``<variable-cost>`` frame rather than silently dropped.
+
+Arming: set ``REPRO_PROFILE=<path>`` and the experiment harness appends
+folded stacks for every live intermittent run and every replay
+recording; or run ``python -m repro profile <benchmark>`` for a
+continuous-power profile plus a top-N hot-region table. Like the
+tracer, the disarmed cost at collection sites is one attribute read.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_right
+from typing import IO, Dict, List, Optional, Tuple
+
+#: Environment variable holding the folded-stack output path.
+PROFILE_ENV = "REPRO_PROFILE"
+
+#: Synthetic frame for cycles with no single home PC (variable
+#: multiplier costs, store-hook checkpoint charges).
+VARIABLE_FRAME = "<variable-cost>"
+
+#: Region name for PCs before the first assembler label.
+ENTRY_REGION = "_entry"
+
+
+def profile_path_from_env() -> Optional[str]:
+    """The ``REPRO_PROFILE`` output path, or ``None`` when unset/blank."""
+    path = os.environ.get(PROFILE_ENV, "").strip()
+    return path or None
+
+
+def region_table(program) -> Tuple[List[int], List[str]]:
+    """Sorted (indices, names) of a program's labels, for bisecting.
+
+    Labels sharing an instruction index keep the first name in sorted
+    order so attribution is deterministic.
+    """
+    indices: List[int] = []
+    names: List[str] = []
+    for name, index in sorted(program.labels.items(), key=lambda kv: (kv[1], kv[0])):
+        if indices and indices[-1] == index:
+            continue
+        indices.append(index)
+        names.append(name)
+    return indices, names
+
+
+def region_of(pc: int, indices: List[int], names: List[str]) -> str:
+    """The source region of ``pc``: nearest label at or before it."""
+    slot = bisect_right(indices, pc) - 1
+    if slot < 0:
+        return ENTRY_REGION
+    return names[slot]
+
+
+def fold_cpu(cpu, label: str) -> Dict[str, int]:
+    """Per-PC cycle attribution from a pre-decoded CPU's live counters.
+
+    Non-destructive: reads the batched counters without flushing them
+    (``CPU.stats`` would zero them), except that the synthetic
+    ``extra_cycles`` pot is only meaningful before a flush. Returns
+    ``{folded_stack: cycles}``; empty for a reference (non-pre-decoded)
+    CPU, which has no per-PC counters to read.
+    """
+    counts = getattr(cpu, "_retire_counts", None)
+    if counts is None:
+        return {}
+    taken = cpu._taken_counts
+    metas = cpu._metas
+    indices, names = region_table(cpu.program)
+    stacks: Dict[str, int] = {}
+    for pc, count in enumerate(counts):
+        if not count:
+            continue
+        meta = metas[pc]
+        if meta.is_cond_branch:
+            cycles = count + taken[pc]
+        else:
+            cycles = count * meta.cost
+        if not cycles:
+            continue
+        region = region_of(pc, indices, names)
+        stacks[f"{label};{region};{meta.op}@{pc}"] = cycles
+    if cpu._extra_cycles:
+        stacks[f"{label};{VARIABLE_FRAME}"] = cpu._extra_cycles
+    return stacks
+
+
+def fold_record(record, program, label: str) -> Dict[str, int]:
+    """Per-PC cycle attribution from a replay log's cost prefix sums.
+
+    Each stream position ``i`` executed ``cum_cost[i+1] - cum_cost[i]``
+    cycles at ``pcs[i]``; summing per PC reproduces exactly the recorded
+    run's attribution (variable costs included, so no synthetic frame).
+    """
+    pcs = record.pcs
+    cum = record.cum_cost
+    per_pc: Dict[int, int] = {}
+    for i in range(record.length):
+        pc = pcs[i]
+        per_pc[pc] = per_pc.get(pc, 0) + cum[i + 1] - cum[i]
+    indices, names = region_table(program)
+    instructions = program.instructions
+    stacks: Dict[str, int] = {}
+    for pc, cycles in sorted(per_pc.items()):
+        region = region_of(pc, indices, names)
+        op = instructions[pc].op
+        stacks[f"{label};{region};{op}@{pc}"] = cycles
+    return stacks
+
+
+def format_folded(stacks: Dict[str, int]) -> str:
+    """Render ``{stack: cycles}`` as folded-stack lines (sorted, stable)."""
+    return "".join(f"{stack} {count}\n" for stack, count in sorted(stacks.items()))
+
+
+def region_rows(stacks: Dict[str, int], top: int = 10) -> List[List[str]]:
+    """Top-N hot regions as table rows: region, cycles, share, hottest op.
+
+    Rows are ready for :func:`repro.experiments.report.format_table`
+    with headers ``("region", "cycles", "share", "hottest")``.
+    """
+    totals: Dict[str, int] = {}
+    hottest: Dict[str, Tuple[int, str]] = {}
+    grand_total = 0
+    for stack, cycles in stacks.items():
+        frames = stack.split(";")
+        region = frames[1] if len(frames) > 1 else frames[0]
+        totals[region] = totals.get(region, 0) + cycles
+        grand_total += cycles
+        site = frames[2] if len(frames) > 2 else region
+        best = hottest.get(region)
+        if best is None or cycles > best[0]:
+            hottest[region] = (cycles, site)
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    rows = []
+    for region, cycles in ranked:
+        share = cycles / grand_total if grand_total else 0.0
+        rows.append([
+            region,
+            str(cycles),
+            f"{100.0 * share:.1f}%",
+            hottest[region][1],
+        ])
+    return rows
+
+
+class Profiler:
+    """Append-only folded-stack sink with a cheap disarmed path.
+
+    Mirrors the :class:`~repro.observability.tracer.Tracer` contract:
+    collection sites branch on :attr:`enabled` (one attribute read when
+    disarmed), and each collection appends its folded stacks in a single
+    flushed write, which POSIX ``O_APPEND`` keeps safe under
+    ``REPRO_JOBS`` worker processes (repeated stacks are legal in the
+    folded format; viewers sum them).
+    """
+
+    __slots__ = ("enabled", "path", "collections", "_file", "_pid")
+
+    def __init__(self) -> None:
+        #: The one flag collection sites branch on.
+        self.enabled = False
+        #: Destination path while enabled, else ``None``.
+        self.path: Optional[str] = None
+        #: Collections appended by *this process* since the last enable.
+        self.collections = 0
+        self._file: Optional[IO[str]] = None
+        self._pid = 0
+
+    def enable(self, path: str) -> None:
+        """Start appending folded stacks to ``path``."""
+        self.disable()
+        self.path = path
+        self._file = open(path, "a", encoding="utf-8")
+        self._pid = os.getpid()
+        self.collections = 0
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop profiling and close the sink."""
+        self.enabled = False
+        if self._file is not None:
+            try:
+                self._file.close()
+            finally:
+                self._file = None
+        self.path = None
+
+    def _append(self, stacks: Dict[str, int]) -> None:
+        if not stacks or not self.enabled:
+            return
+        file = self._file
+        if file is None:
+            self.enabled = False
+            return
+        pid = os.getpid()
+        if pid != self._pid:
+            # Forked worker: reopen so each process owns its O_APPEND
+            # offset (the inherited handle would share buffer state).
+            self._pid = pid
+            self._file = file = open(self.path, "a", encoding="utf-8")
+            self.collections = 0
+        file.write(format_folded(stacks))
+        file.flush()
+        self.collections += 1
+
+    def collect_cpu(self, cpu, label: str) -> None:
+        """Fold and append a live CPU's per-PC counters."""
+        if self.enabled:
+            self._append(fold_cpu(cpu, label))
+
+    def collect_record(self, record, program, label: str) -> None:
+        """Fold and append a replay recording's per-position costs."""
+        if self.enabled:
+            self._append(fold_record(record, program, label))
+
+
+#: The process-wide profiler every collection site imports.
+PROFILER = Profiler()
+
+
+def init_from_env() -> None:
+    """Arm :data:`PROFILER` from ``REPRO_PROFILE`` if the variable is set.
+
+    Called at package import, exactly like the tracer, so spawned
+    ``REPRO_JOBS`` workers re-arm on import and append to the same file.
+    """
+    path = profile_path_from_env()
+    if path:
+        PROFILER.enable(path)
+
+
+init_from_env()

@@ -187,6 +187,62 @@ def summarize_trace(path: str) -> TraceSummary:
     return summary
 
 
+#: Version stamp of the ``summary_to_dict`` JSON layout. Bump only on
+#: breaking changes; additive fields keep the number.
+SUMMARY_SCHEMA = 1
+
+
+def summary_to_dict(summary: TraceSummary, limit: Optional[int] = None) -> dict:
+    """A :class:`TraceSummary` as a stable JSON-serializable dict.
+
+    This is the machine half of ``python -m repro trace summarize``
+    (the ``--json`` flag): CI scripts and the run dashboard consume it,
+    so the key set is part of the tool's contract —
+    ``tests/test_profiler_ledger.py`` pins it. ``limit`` caps the
+    per-sample list (``None`` = all samples).
+    """
+    samples = summary.samples if limit is None else summary.samples[:limit]
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "path": summary.path,
+        "total_events": summary.total_events,
+        "parse_errors": summary.parse_errors,
+        "pids": len(summary.pids),
+        "event_counts": dict(sorted(summary.event_counts.items())),
+        "samples": {
+            "total": len(summary.samples),
+            "completed": sum(1 for s in summary.samples if s.completed),
+            "skimmed": sum(1 for s in summary.samples if s.skim_taken),
+            "engines": dict(sorted(summary.engines.items())),
+        },
+        "skim": {"arms": summary.skim_arms, "takes": summary.skim_takes},
+        "outages": summary.outages,
+        "fallback_reasons": dict(summary.fallback_reasons.most_common()),
+        "orphan_events": dict(sorted(summary.orphan_events.items())),
+        "sample_list": [
+            {
+                "config": s.config,
+                "workload": s.workload,
+                "mode": s.mode,
+                "bits": s.bits,
+                "runtime": s.runtime,
+                "trace": s.trace_index,
+                "invocation": s.invocation,
+                "engine": s.engine,
+                "completed": s.completed,
+                "skim_taken": s.skim_taken,
+                "wall_ms": s.wall_ms,
+                "outages": s.outages,
+                "skim_arms": s.skim_arms,
+                "skim_takes": s.skim_takes,
+                "checkpoints": s.checkpoints,
+                "fallback_reason": s.fallback_reason,
+            }
+            for s in samples
+        ],
+    }
+
+
 def format_summary(summary: TraceSummary, limit: int = 12) -> str:
     """Render a :class:`TraceSummary` as the CLI report text."""
     lines = [

@@ -35,9 +35,11 @@ class Capacitor:
 
     @property
     def voltage(self) -> float:
+        """Present capacitor voltage implied by the stored energy."""
         return math.sqrt(2.0 * self.energy / self.capacitance)
 
     def energy_at(self, voltage: float) -> float:
+        """Stored energy (J) at a given voltage: ``C*V^2/2``."""
         return 0.5 * self.capacitance * voltage**2
 
     @property
@@ -65,6 +67,7 @@ class Capacitor:
         self.energy = max(0.0, self.energy - energy_j)
 
     def set_voltage(self, voltage: float) -> None:
+        """Force the stored energy to match ``voltage`` exactly."""
         if not 0 <= voltage <= self.v_max:
             raise ValueError("voltage out of range")
         self.energy = self.energy_at(voltage)
@@ -73,10 +76,12 @@ class Capacitor:
 
     @property
     def above_on_threshold(self) -> bool:
+        """Whether the voltage has reached the turn-on threshold."""
         return self.voltage >= self.v_on
 
     @property
     def below_off_threshold(self) -> bool:
+        """Whether the voltage has dropped below brown-out."""
         return self.voltage < self.v_off
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

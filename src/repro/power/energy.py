@@ -42,21 +42,26 @@ class EnergyModel:
 
     @property
     def cycles_per_ms(self) -> int:
+        """Clock cycles in one millisecond."""
         return self.clock_hz // 1000
 
     @property
     def active_power_w(self) -> float:
+        """Average active power draw (W) at the modeled clock."""
         return self.energy_per_cycle * self.clock_hz
 
     def energy_for_cycles(self, cycles: int) -> float:
+        """Energy (J) consumed executing ``cycles`` active cycles."""
         return cycles * self.energy_per_cycle
 
     def cycles_for_energy(self, energy_j: float) -> int:
+        """How many whole cycles ``energy_j`` joules can fund."""
         if energy_j <= 0:
             return 0
         return int(energy_j / self.energy_per_cycle)
 
     def ms_for_cycles(self, cycles: int) -> float:
+        """Wall-clock milliseconds ``cycles`` take at the clock."""
         return cycles / self.cycles_per_ms
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -47,14 +47,17 @@ class PowerTrace:
 
     @property
     def duration_ms(self) -> float:
+        """Trace length in milliseconds (one sample per ms)."""
         return len(self.samples) * self.SAMPLE_MS
 
     @property
     def mean_power(self) -> float:
+        """Average harvested power (W) over the whole trace."""
         return sum(self.samples) / len(self.samples) if self.samples else 0.0
 
     @property
     def peak_power(self) -> float:
+        """Maximum single-sample power (W) in the trace."""
         return max(self.samples) if self.samples else 0.0
 
     def scaled(self, factor: float) -> "PowerTrace":
@@ -62,11 +65,13 @@ class PowerTrace:
         return PowerTrace([s * factor for s in self.samples], name=f"{self.name}*{factor:g}")
 
     def slice_ms(self, start_ms: int, end_ms: int) -> "PowerTrace":
+        """The sub-trace covering ``[start_ms, end_ms)``."""
         return PowerTrace(self.samples[start_ms:end_ms], name=f"{self.name}[{start_ms}:{end_ms}]")
 
     # -- persistence -----------------------------------------------------------
 
     def to_csv(self) -> str:
+        """Serialize as ``ms,power_w`` CSV text."""
         buf = io.StringIO()
         writer = csv.writer(buf)
         writer.writerow(["ms", "power_w"])
@@ -76,6 +81,7 @@ class PowerTrace:
 
     @classmethod
     def from_csv(cls, text: str, name: str = "trace") -> "PowerTrace":
+        """Parse a trace from :meth:`to_csv`-format CSV text."""
         reader = csv.reader(io.StringIO(text))
         header = next(reader, None)
         if header is None or header[:2] != ["ms", "power_w"]:
@@ -111,6 +117,7 @@ def square_trace(
 
 
 def concat(traces: Iterable[PowerTrace], name: str = "concat") -> PowerTrace:
+    """One trace whose samples are all inputs back to back."""
     samples: List[float] = []
     for trace in traces:
         samples.extend(trace.samples)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..observability.ledger import ProgressLedger
 from ..observability.tracer import TRACER
 from ..power.supply import PowerSupply
 from ..sim.cpu import CPU
@@ -34,6 +35,8 @@ class RunResult:
     active_cycles: int
     outages: int
     runtime_stats: RuntimeStats = field(default_factory=RuntimeStats)
+    #: Forward-progress attribution; bucket sum == ``active_cycles``.
+    ledger: ProgressLedger = field(default_factory=ProgressLedger)
 
     @property
     def wall_seconds(self) -> float:
@@ -70,6 +73,11 @@ class IntermittentExecutor:
         start_outages = supply.outages
         skim_taken = False
         pending_overhead = carry_overhead
+        # Attribution for the pending account: carry_overhead is the
+        # unpaid remainder of the replay-side restore that consumed the
+        # skim register, so the account opens as restore cost.
+        pending_kind = "restore"
+        ledger = ProgressLedger()
         timed_out = False
         stalled_restores = 0
         last_restore_signature = None
@@ -83,6 +91,7 @@ class IntermittentExecutor:
                 supply.charge_until_on()
                 armed_before = runtime.skim.armed
                 pending_overhead = runtime.on_restore()
+                pending_kind = "restore"
                 took_skim = armed_before and not runtime.skim.armed
                 if took_skim:
                     skim_taken = True
@@ -118,6 +127,7 @@ class IntermittentExecutor:
                 paid = min(pending_overhead, budget)
                 pending_overhead -= paid
                 used = paid
+                ledger.overhead(pending_kind, paid)
 
             # Just-in-time (Hibernus-style) runtimes snapshot right
             # before the brown-out: on the final tick of a power cycle,
@@ -138,23 +148,47 @@ class IntermittentExecutor:
                 chunk = budget - used
                 if interval:
                     chunk = min(chunk, interval)
+                # Store hooks (Clank WAR tracking) charge checkpoints
+                # *inside* run_cycles; the stats delta splits the chunk
+                # back into program work vs checkpoint overhead.
+                ckpt_before = runtime.stats.checkpoint_cycles
                 ran = cpu.run_cycles(chunk)
+                ckpt_in_chunk = runtime.stats.checkpoint_cycles - ckpt_before
                 used += ran
+                ledger.execute(ran - ckpt_in_chunk)
+                if ckpt_in_chunk:
+                    ledger.overhead("checkpoint", ckpt_in_chunk)
+                    ledger.commit()
                 overhead = runtime.on_tick(ran)
                 if overhead:
+                    # A watchdog checkpoint fired: the state is saved now
+                    # even if part of its cost spills into future ticks.
                     paid = min(overhead, budget - used)
                     used += paid
                     pending_overhead = overhead - paid
+                    pending_kind = "checkpoint"
+                    ledger.overhead("checkpoint", paid)
+                    ledger.commit()
                 if ran == 0:
                     break  # the next instruction cannot fit in this tick
             if reserved and not cpu.halted:
-                used += min(jit_snapshot(), reserved)
+                snap = min(jit_snapshot(), reserved)
+                used += snap
+                if snap:
+                    ledger.overhead("checkpoint", snap)
+                    ledger.commit()
             supply.consume_cycles(used)
 
             if not supply.finish_tick():
                 # Power outage: discard volatile state, drop any pending
                 # overhead (it never got to execute).
                 pending_overhead = 0
+                if self.volatile_core and not cpu.halted:
+                    ledger.discard()
+                else:
+                    # NVP state survives the outage; a halted program
+                    # already landed its results before the power fell.
+                    ledger.commit()
                 runtime.on_outage()
                 if TRACER.enabled:
                     TRACER.emit(
@@ -166,6 +200,7 @@ class IntermittentExecutor:
                 if cpu.halted:
                     break
 
+        ledger.close()
         return RunResult(
             completed=cpu.halted,
             skim_taken=skim_taken,
@@ -176,6 +211,7 @@ class IntermittentExecutor:
             active_cycles=supply.total_cycles - start_cycles,
             outages=supply.outages - start_outages,
             runtime_stats=runtime.stats,
+            ledger=ledger,
         )
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.anytime import IntermittentRun
+from ..observability.ledger import ProgressLedger
 from ..observability.tracer import TRACER
 from ..power.capacitor import Capacitor
 from ..power.energy import EnergyModel
@@ -74,6 +75,8 @@ class ReplayExecutor:
         #: (cut position, skim target, pending restore overhead).
         self.skim_cut: Optional[tuple] = None
         self.timed_out = False
+        #: Forward-progress attribution, mirroring the live executor's.
+        self.ledger = ProgressLedger()
 
     def run(self, max_wall_ms: int = 10_000_000) -> None:
         """Consume the log until halt, timeout or skim cut.
@@ -88,6 +91,9 @@ class ReplayExecutor:
 
         start_tick = supply.tick
         pending_overhead = 0
+        pending_kind = "restore"
+        ledger = self.ledger
+        volatile = policy.name != "nvp"
         stalled_restores = 0
         last_restore_signature = None
         jit_snapshot = getattr(policy, "on_low_voltage", None)
@@ -102,6 +108,7 @@ class ReplayExecutor:
                 supply.charge_until_on()
                 armed_before = skim.armed
                 pending_overhead = policy.on_restore()
+                pending_kind = "restore"
                 took_skim = armed_before and not skim.armed
                 if TRACER.enabled:
                     TRACER.emit(
@@ -134,6 +141,7 @@ class ReplayExecutor:
                 paid = min(pending_overhead, budget)
                 pending_overhead -= paid
                 used = paid
+                ledger.overhead(pending_kind, paid)
 
             reserved = 0
             if jit_snapshot is not None and supply.tick_energy_limited:
@@ -143,21 +151,41 @@ class ReplayExecutor:
                 chunk = budget - used
                 if interval:
                     chunk = min(chunk, interval)
+                # Clank's replay policy charges WAR checkpoints inside
+                # run_chunk (the twin of the live store hook); the stats
+                # delta separates them from program progress.
+                ckpt_before = policy.stats.checkpoint_cycles
                 ran = policy.run_chunk(chunk)
+                ckpt_in_chunk = policy.stats.checkpoint_cycles - ckpt_before
                 used += ran
+                ledger.execute(ran - ckpt_in_chunk)
+                if ckpt_in_chunk:
+                    ledger.overhead("checkpoint", ckpt_in_chunk)
+                    ledger.commit()
                 overhead = policy.on_tick(ran)
                 if overhead:
                     paid = min(overhead, budget - used)
                     used += paid
                     pending_overhead = overhead - paid
+                    pending_kind = "checkpoint"
+                    ledger.overhead("checkpoint", paid)
+                    ledger.commit()
                 if ran == 0:
                     break
             if reserved and not policy.halted:
-                used += min(jit_snapshot(), reserved)
+                snap = min(jit_snapshot(), reserved)
+                used += snap
+                if snap:
+                    ledger.overhead("checkpoint", snap)
+                    ledger.commit()
             supply.consume_cycles(used)
 
             if not supply.finish_tick():
                 pending_overhead = 0
+                if volatile and not policy.halted:
+                    ledger.discard()
+                else:
+                    ledger.commit()
                 policy.on_outage()
                 if TRACER.enabled:
                     TRACER.emit(
@@ -248,6 +276,7 @@ def replay_intermittent(
             watermark = policy.max_position
             cpu = record.materialize_cpu(kernel, inputs, watermark, watermark)
             outputs = kernel.read_outputs(cpu)
+        executor.ledger.close()
         result = RunResult(
             completed=completed,
             skim_taken=False,
@@ -258,6 +287,7 @@ def replay_intermittent(
             active_cycles=supply.total_cycles,
             outages=supply.outages,
             runtime_stats=policy.stats,
+            ledger=executor.ledger,
         )
         return IntermittentRun(outputs=outputs, result=result)
 
@@ -283,6 +313,10 @@ def replay_intermittent(
         max_wall_ms=max_wall_ms - elapsed, carry_overhead=pending
     )
     _merge_stats(policy.stats, handoff.runtime_stats)
+    # The sample's attribution is replay-side work plus the live suffix
+    # (the live ledger already booked the carried restore cost).
+    executor.ledger.close()
+    executor.ledger.merge(handoff.ledger)
     result = RunResult(
         completed=handoff.completed,
         skim_taken=True,
@@ -293,5 +327,6 @@ def replay_intermittent(
         active_cycles=supply.total_cycles,
         outages=supply.outages,
         runtime_stats=policy.stats,
+        ledger=executor.ledger,
     )
     return IntermittentRun(outputs=kernel.read_outputs(cpu), result=result)

@@ -143,6 +143,7 @@ class CPU:
         return (self.regs.snapshot(), self.flags.snapshot(), self.pc)
 
     def restore(self, snap: Tuple[List[int], tuple, int]) -> None:
+        """Load a :meth:`snapshot` back and clear the halt latch."""
         regs, flags, pc = snap
         self.regs.restore(regs)
         self.flags.restore(flags)
@@ -150,6 +151,7 @@ class CPU:
         self.halted = False
 
     def reset(self, pc: int = 0) -> None:
+        """Power-on state: zero registers/flags, jump to ``pc``."""
         # In place: the decoded handlers keep their bindings valid.
         self.regs.reset()
         self.flags.reset()

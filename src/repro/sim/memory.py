@@ -63,9 +63,11 @@ class Region:
         self.data = bytearray(size)
 
     def contains(self, addr: int, length: int = 1) -> bool:
+        """Whether ``[addr, addr+length)`` lies fully in this region."""
         return self.base <= addr and addr + length <= self.base + self.size
 
     def clear(self) -> None:
+        """Zero the region's bytes (what an outage does to SRAM)."""
         # Zero in place: decoded handlers and bulk helpers may hold a
         # reference to ``data``, and an outage must wipe the bytes they
         # see, not swap in a fresh buffer behind their backs.
@@ -87,6 +89,7 @@ class Memory:
     # -- region management --------------------------------------------------
 
     def region(self, name: str) -> Region:
+        """The region registered under ``name`` (KeyError if absent)."""
         return self._by_name[name]
 
     def _find(self, addr: int, length: int) -> Region:
@@ -105,11 +108,13 @@ class Memory:
                 region.clear()
 
     def is_nonvolatile(self, addr: int) -> bool:
+        """Whether ``addr`` maps to a region that survives outages."""
         return not self._find(addr, 1).volatile
 
     # -- scalar access ------------------------------------------------------
 
     def load_word(self, addr: int) -> int:
+        """Read a 32-bit little-endian word at ``addr``."""
         region = self._find(addr, 4)
         if region.device is not None:
             return region.device.read(addr - region.base, 4) & 0xFFFFFFFF
@@ -117,6 +122,7 @@ class Memory:
         return _U32.unpack_from(region.data, off)[0]
 
     def store_word(self, addr: int, value: int) -> None:
+        """Write a 32-bit little-endian word at ``addr``."""
         region = self._find(addr, 4)
         if region.device is not None:
             region.device.write(addr - region.base, 4, value & 0xFFFFFFFF)
@@ -124,12 +130,14 @@ class Memory:
         _U32.pack_into(region.data, addr - region.base, value & 0xFFFFFFFF)
 
     def load_half(self, addr: int) -> int:
+        """Read a 16-bit little-endian halfword at ``addr``."""
         region = self._find(addr, 2)
         if region.device is not None:
             return region.device.read(addr - region.base, 2) & 0xFFFF
         return _U16.unpack_from(region.data, addr - region.base)[0]
 
     def store_half(self, addr: int, value: int) -> None:
+        """Write a 16-bit little-endian halfword at ``addr``."""
         region = self._find(addr, 2)
         if region.device is not None:
             region.device.write(addr - region.base, 2, value & 0xFFFF)
@@ -137,12 +145,14 @@ class Memory:
         _U16.pack_into(region.data, addr - region.base, value & 0xFFFF)
 
     def load_byte(self, addr: int) -> int:
+        """Read one byte at ``addr``."""
         region = self._find(addr, 1)
         if region.device is not None:
             return region.device.read(addr - region.base, 1) & 0xFF
         return region.data[addr - region.base]
 
     def store_byte(self, addr: int, value: int) -> None:
+        """Write one byte at ``addr``."""
         region = self._find(addr, 1)
         if region.device is not None:
             region.device.write(addr - region.base, 1, value & 0xFF)
@@ -152,38 +162,46 @@ class Memory:
     # -- bulk helpers (used by workloads to stage inputs/outputs) ------------
 
     def write_bytes(self, addr: int, data: bytes) -> None:
+        """Copy raw bytes into one region (must not span regions)."""
         region = self._find(addr, len(data))
         off = addr - region.base
         region.data[off:off + len(data)] = data
 
     def read_bytes(self, addr: int, length: int) -> bytes:
+        """Copy ``length`` raw bytes out of one region."""
         region = self._find(addr, length)
         off = addr - region.base
         return bytes(region.data[off:off + length])
 
     def write_words(self, addr: int, values: Iterable[int]) -> None:
+        """Stage a sequence of 32-bit words starting at ``addr``."""
         values = list(values)
         packed = b"".join(_U32.pack(v & 0xFFFFFFFF) for v in values)
         self.write_bytes(addr, packed)
 
     def read_words(self, addr: int, count: int) -> List[int]:
+        """Read ``count`` consecutive 32-bit words from ``addr``."""
         raw = self.read_bytes(addr, count * 4)
         return [x[0] for x in _U32.iter_unpack(raw)]
 
     def write_halves(self, addr: int, values: Iterable[int]) -> None:
+        """Stage a sequence of 16-bit halfwords starting at ``addr``."""
         packed = b"".join(_U16.pack(v & 0xFFFF) for v in values)
         self.write_bytes(addr, packed)
 
     def read_halves(self, addr: int, count: int) -> List[int]:
+        """Read ``count`` consecutive 16-bit halfwords from ``addr``."""
         raw = self.read_bytes(addr, count * 2)
         return [x[0] for x in _U16.iter_unpack(raw)]
 
     # -- snapshots (for checkpointing volatile state) -------------------------
 
     def snapshot_volatile(self) -> Dict[str, bytes]:
+        """Copy every volatile region's bytes (checkpoint payload)."""
         return {r.name: bytes(r.data) for r in self.regions if r.volatile}
 
     def restore_volatile(self, snap: Dict[str, bytes]) -> None:
+        """Write a :meth:`snapshot_volatile` payload back in place."""
         for name, data in snap.items():
             region = self._by_name[name]
             region.data[:] = data

@@ -22,6 +22,7 @@ class ExecutionStats:
     op_counts: Counter = field(default_factory=Counter)
 
     def record(self, op: str, cycles: int, *, is_wn: bool, taken: bool = False) -> None:
+        """Count one retired instruction (reference-interpreter path)."""
         self.instructions += 1
         self.cycles += cycles
         self.op_counts[op] += 1
@@ -88,6 +89,7 @@ class ExecutionStats:
         self.cycles += extra_cycles
 
     def merge(self, other: "ExecutionStats") -> None:
+        """Fold another stats object into this one, field-wise."""
         self.instructions += other.instructions
         self.cycles += other.cycles
         self.loads += other.loads
@@ -99,6 +101,7 @@ class ExecutionStats:
         self.op_counts.update(other.op_counts)
 
     def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (for reports and asserts)."""
         return {
             "instructions": self.instructions,
             "cycles": self.cycles,
@@ -111,6 +114,7 @@ class ExecutionStats:
         }
 
     def reset(self) -> None:
+        """Zero every counter in place."""
         self.instructions = 0
         self.cycles = 0
         self.loads = 0
