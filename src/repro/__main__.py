@@ -9,6 +9,7 @@ Subcommands::
     python -m repro trace summarize t.jsonl   # report on a REPRO_TRACE file
     python -m repro profile MatMul       # hot-region table + folded stacks
     python -m repro report --html ...    # render the run dashboard
+    python -m repro chaos --seed 7       # seeded fault-injection campaign
 
 ``run`` also writes a provenance manifest when ``--manifest <path>`` is
 passed or ``REPRO_MANIFEST=<path>`` is set (see docs/OBSERVABILITY.md);
@@ -172,6 +173,61 @@ def cmd_report(args) -> int:
     else:
         print(text)
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Seeded fault-injection campaign against the shipped runtimes.
+
+    Exit 0 only if the campaign reports zero crash-consistency
+    violations — and, with ``--mutants``, if every deliberately broken
+    mutant runtime IS flagged (proving the oracle can see a bug)."""
+    from .fault.campaign import report_to_json, run_campaign
+    from .fault.mutants import MUTANTS
+
+    report = run_campaign(seed=args.seed, count=args.scenarios)
+    print(
+        f"chaos campaign: seed={args.seed} scenarios={args.scenarios} "
+        f"runtimes={','.join(report['runtimes'])} "
+        f"workloads={','.join(report['workloads'])}"
+    )
+    for outcome, count in report["outcomes"].items():
+        print(f"  {outcome:>16}: {count}")
+    ok = report["violation_count"] == 0
+    if not ok:
+        print(f"{report['violation_count']} INVARIANT VIOLATIONS:", file=sys.stderr)
+        for violation in report["violations"]:
+            print(
+                f"  scenario {violation['index']} "
+                f"[{violation['runtime']}/{violation['workload']}/"
+                f"{violation['mode']}] {violation['invariant']}: "
+                f"{violation['detail']}",
+                file=sys.stderr,
+            )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as file:
+            file.write(report_to_json(report))
+        print(f"wrote report {args.report}")
+    if args.mutants:
+        for name in sorted(MUTANTS):
+            mutant_report = run_campaign(
+                seed=args.seed, count=args.scenarios, mutant=name
+            )
+            flagged = mutant_report["violation_count"] > 0
+            invariants = sorted(
+                {v["invariant"] for v in mutant_report["violations"]}
+            )
+            print(
+                f"mutant {name}: {mutant_report['violation_count']} "
+                f"violations {invariants if flagged else ''}".rstrip()
+            )
+            if not flagged:
+                print(
+                    f"MUTANT NOT DETECTED: {name} ran clean — the oracle "
+                    "has lost its sensitivity",
+                    file=sys.stderr,
+                )
+                ok = False
+    return 0 if ok else 1
 
 
 def cmd_bench(args) -> int:
@@ -360,6 +416,24 @@ def main(argv: Optional[list] = None) -> int:
     report_parser.add_argument("--output", default=None,
                                help="write to this path instead of stdout")
     report_parser.set_defaults(func=cmd_report)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run a seeded fault-injection campaign (forced outages, torn "
+             "checkpoints, bit flips, fuzzed traces) and check the "
+             "crash-consistency oracle; exit 1 on any violation",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=20260806,
+                              help="campaign seed (default 20260806); the "
+                                   "same seed is byte-identical every run")
+    chaos_parser.add_argument("--scenarios", type=int, default=500,
+                              help="scenario count (default 500)")
+    chaos_parser.add_argument("--report", default=None,
+                              help="write the full JSON report to this path")
+    chaos_parser.add_argument("--mutants", action="store_true",
+                              help="also run the deliberately broken mutant "
+                                   "runtimes and fail unless each is flagged")
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     bench_parser = subparsers.add_parser(
         "bench",

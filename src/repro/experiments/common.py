@@ -24,15 +24,18 @@ bit-identical to the pre-parallel harness.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import statistics
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.anytime import AnytimeConfig, AnytimeKernel
 from ..core.quality import nrmse
+from ..errors import IncompleteRun, SampleTimeout
 from ..observability.ledger import LEDGER_ENV, merge_bucket_dicts
 from ..observability.manifest import record_result
 from ..observability.metrics import METRICS_ENV, Metrics
@@ -42,6 +45,7 @@ from ..power.capacitor import Capacitor
 from ..power.energy import EnergyModel
 from ..power.harvester import paper_traces
 from ..power.trace import PowerTrace
+from ..runtime.executor import set_sample_deadline
 from ..runtime.replay_executor import replay_intermittent
 from ..sim.replay import ReplayDiverged, ReplayRecord, record_run
 from ..workloads.base import Workload
@@ -231,6 +235,100 @@ def experiment_replay() -> bool:
     return os.environ.get("REPRO_REPLAY", "").strip() == "1"
 
 
+#: Warn-once latches for the robustness knobs, mirroring
+#: ``_jobs_warning_emitted``: an invalid value degrades to "knob off"
+#: with a single stderr line per process, never a crash.
+_timeout_warning_emitted = False
+_faults_warning_emitted = False
+
+
+def experiment_sample_timeout() -> Optional[float]:
+    """Per-sample wall-clock budget in seconds from
+    ``REPRO_SAMPLE_TIMEOUT`` (``None`` = no timeout).
+
+    The budget is enforced *cooperatively*: :func:`_run_sample` arms the
+    executor deadline (:func:`~repro.runtime.executor.set_sample_deadline`)
+    so a pathological sample raises a typed
+    :class:`~repro.errors.SampleTimeout` inside its own process instead
+    of hanging a ``REPRO_JOBS`` worker forever."""
+    global _timeout_warning_emitted
+    raw = os.environ.get("REPRO_SAMPLE_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        timeout = float(raw)
+    except ValueError:
+        timeout = 0.0
+    if timeout <= 0:
+        if not _timeout_warning_emitted:
+            _timeout_warning_emitted = True
+            print(
+                f"repro: ignoring invalid REPRO_SAMPLE_TIMEOUT={raw!r} "
+                "(want a positive number of seconds); no sample timeout",
+                file=sys.stderr,
+            )
+        return None
+    return timeout
+
+
+def experiment_faults() -> Optional[int]:
+    """Chaos seed from ``REPRO_FAULTS`` (``None`` = faults off).
+
+    When set, every grid sample swaps its paper power trace for a
+    seeded adversarial trace from the fault engine's fuzzer
+    (burst-outage or knife-edge, alternating per sample), so any
+    experiment — including a full figure grid — can be re-run under
+    hostile power without touching its code. The swap is a pure
+    function of (seed, trace index, invocation): deterministic and
+    identical across serial and ``REPRO_JOBS`` runs."""
+    global _faults_warning_emitted
+    raw = os.environ.get("REPRO_FAULTS", "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        if not _faults_warning_emitted:
+            _faults_warning_emitted = True
+            print(
+                f"repro: ignoring invalid REPRO_FAULTS={raw!r} "
+                "(want an integer seed); faults disabled",
+                file=sys.stderr,
+            )
+        return None
+
+
+def experiment_resume_dir() -> Optional[str]:
+    """Checkpoint directory from ``REPRO_RESUME`` (``None`` = off).
+
+    When set, every finished configuration's sample list is persisted
+    to ``<dir>/<config-key>.json`` (written atomically: temp file +
+    rename, so a crash mid-write never leaves a torn result — the
+    harness practices what the paper preaches). A re-run with the same
+    environment loads those files instead of re-executing, making an
+    interrupted ``fig10``-scale grid restartable where it left off.
+    The directory is created on first use."""
+    raw = os.environ.get("REPRO_RESUME", "").strip()
+    if not raw:
+        return None
+    os.makedirs(raw, exist_ok=True)
+    return raw
+
+
+def _fault_trace(seed: int, spec: "SampleSpec") -> PowerTrace:
+    """The adversarial replacement trace for one sample under
+    ``REPRO_FAULTS`` — seeded per (trace index, invocation) so the grid
+    keeps its per-sample diversity."""
+    from ..fault.fuzz import burst_outage_trace, knife_edge_trace
+
+    sample_seed = (
+        seed * 1_000_003 + spec.trace_index * 131 + spec.invocation
+    ) & 0x7FFFFFFF
+    if sample_seed % 2:
+        return knife_edge_trace(sample_seed, duration_ms=spec.trace_duration_ms)
+    return burst_outage_trace(sample_seed, duration_ms=spec.trace_duration_ms)
+
+
 @dataclass(frozen=True)
 class SampleSpec:
     """Everything a worker process needs to reproduce one grid sample.
@@ -316,7 +414,25 @@ def _sample_ledger(run, energy: EnergyModel) -> dict:
 
 
 def _run_sample(spec: SampleSpec) -> SampleRun:
-    """Execute one (trace, invocation) sample; runs in a worker process."""
+    """Execute one (trace, invocation) sample; runs in a worker process.
+
+    Arms the cooperative per-sample wall-clock deadline when
+    ``REPRO_SAMPLE_TIMEOUT`` is set, so a pathological sample raises a
+    typed :class:`~repro.errors.SampleTimeout` instead of hanging its
+    worker."""
+    timeout = experiment_sample_timeout()
+    if timeout is None:
+        return _execute_sample(spec)
+    set_sample_deadline(time.monotonic() + timeout)
+    try:
+        return _execute_sample(spec)
+    finally:
+        set_sample_deadline(None)
+
+
+def _execute_sample(spec: SampleSpec) -> SampleRun:
+    """The sample body: rebuild the workload/kernel/trace from the spec
+    (cached per process) and run it intermittently."""
     from ..workloads import make_workload
 
     wkey = (spec.workload_name, spec.scale)
@@ -339,6 +455,9 @@ def _run_sample(spec: SampleSpec) -> SampleRun:
             base_seed=spec.trace_seed,
         )
     trace = _worker_traces[tkey][spec.trace_index]
+    faults_seed = experiment_faults()
+    if faults_seed is not None:
+        trace = _fault_trace(faults_seed, spec)
 
     if TRACER.enabled:
         TRACER.emit(
@@ -417,9 +536,11 @@ def _run_sample(spec: SampleSpec) -> SampleRun:
             watchdog_cycles=spec.watchdog_cycles if spec.runtime == "clank" else None,
         )
     if not run.result.completed:
-        raise RuntimeError(
+        raise IncompleteRun(
             f"{spec.workload_name} [{spec.mode}/{spec.runtime}] did not "
-            f"complete on trace {trace.name!r} within {spec.max_wall_ms} ms"
+            f"complete on trace {trace.name!r} within {spec.max_wall_ms} ms",
+            outages=run.result.outages,
+            active_cycles=run.result.active_cycles,
         )
     error = nrmse(reference, workload.decode(run.outputs))
     if TRACER.enabled:
@@ -437,6 +558,97 @@ def _run_sample(spec: SampleSpec) -> SampleRun:
         metrics=_sample_metrics(run, engine, fallback, error),
         ledger=_sample_ledger(run, energy),
     )
+
+
+def _resume_key(
+    name: str,
+    scale: Optional[str],
+    mode: str,
+    bits: Optional[int],
+    runtime: str,
+    setup: ExperimentSetup,
+    environment: Environment,
+) -> str:
+    """Filesystem-safe identity of one configuration's grid.
+
+    Everything that determines the samples — workload, mode, runtime,
+    grid shape and the calibrated environment — feeds the key, so a
+    resume directory can never serve results computed under different
+    knobs."""
+    fingerprint = hashlib.sha256(
+        repr(
+            (
+                setup.trace_count,
+                setup.invocations,
+                setup.trace_duration_ms,
+                setup.trace_seed,
+                setup.max_wall_ms,
+                environment.capacitor_f,
+                environment.watchdog_cycles,
+            )
+        ).encode()
+    ).hexdigest()[:12]
+    return (
+        f"{name}-{scale}-{mode}-{bits}-{runtime}-{fingerprint}".replace(
+            os.sep, "_"
+        )
+    )
+
+
+def _sample_run_to_dict(run: SampleRun) -> dict:
+    """JSON encoding of one sample; floats survive the round trip
+    bit-exactly (``json`` uses ``repr``-shortest encoding)."""
+    return {
+        "wall_ms": run.wall_ms,
+        "on_ms": run.on_ms,
+        "active_cycles": run.active_cycles,
+        "outages": run.outages,
+        "skim_taken": run.skim_taken,
+        "error": run.error,
+        "metrics": run.metrics,
+        "ledger": run.ledger,
+    }
+
+
+def _sample_run_from_dict(data: dict) -> SampleRun:
+    """Inverse of :func:`_sample_run_to_dict`."""
+    return SampleRun(
+        wall_ms=data["wall_ms"],
+        on_ms=data["on_ms"],
+        active_cycles=data["active_cycles"],
+        outages=data["outages"],
+        skim_taken=data["skim_taken"],
+        error=data["error"],
+        metrics=data.get("metrics"),
+        ledger=data.get("ledger"),
+    )
+
+
+def _load_resumed(directory: str, key: str) -> Optional[List[SampleRun]]:
+    """The persisted sample list for one configuration, or ``None``.
+
+    A torn or unreadable file (the crash the atomic writer prevents,
+    but also a stray partial file from an older tool) is treated as
+    absent: the configuration simply re-runs."""
+    path = os.path.join(directory, key + ".json")
+    try:
+        with open(path, "r", encoding="utf-8") as file:
+            payload = json.load(file)
+        return [_sample_run_from_dict(entry) for entry in payload["runs"]]
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _save_resumed(directory: str, key: str, runs: List[SampleRun]) -> None:
+    """Persist one configuration's samples atomically (temp + rename),
+    so an interrupt mid-write leaves either the old state or the new —
+    never a torn file."""
+    path = os.path.join(directory, key + ".json")
+    tmp_path = path + ".tmp"
+    payload = {"runs": [_sample_run_to_dict(run) for run in runs]}
+    with open(tmp_path, "w", encoding="utf-8") as file:
+        json.dump(payload, file, separators=(",", ":"))
+    os.replace(tmp_path, path)
 
 
 def _sample_specs(
@@ -472,15 +684,66 @@ def _sample_specs(
 
 
 def _map_samples(specs: List[SampleSpec], jobs: int) -> List[SampleRun]:
-    """Ordered map over the grid: serial when jobs <= 1, else a process
-    pool. ``ProcessPoolExecutor.map`` yields in submission order, so the
-    merged result list is independent of worker scheduling."""
+    """Ordered, self-healing map over the grid.
+
+    Serial when ``jobs <= 1``. Otherwise each spec is submitted as its
+    own future and collected in submission order, so the merged result
+    list is independent of worker scheduling — and a failure is scoped
+    to its spec, not the grid: a sample whose worker dies (OOM killer,
+    segfaulting interpreter, ``BrokenProcessPool``) or errors in flight
+    is retried *serially in the parent* after the pool drains. One
+    aggregated stderr warning reports everything that was retried. Only
+    a sample that also fails its serial retry propagates — a
+    deterministic failure (e.g. :class:`~repro.errors.IncompleteRun`)
+    still surfaces as the typed error it is; an unlucky worker crash
+    never kills an hours-long grid."""
     if jobs <= 1 or len(specs) <= 1:
         return [_run_sample(spec) for spec in specs]
     from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FutureTimeout
+    from concurrent.futures.process import BrokenProcessPool
 
-    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-        return list(pool.map(_run_sample, specs))
+    # Hard per-future backstop: the in-worker deadline is cooperative,
+    # so give each result several budgets of slack before declaring the
+    # worker wedged and falling back to the serial retry.
+    timeout = experiment_sample_timeout()
+    hard_cap = None if timeout is None else 4.0 * timeout + 30.0
+
+    results: List[Optional[SampleRun]] = [None] * len(specs)
+    failures: List[Tuple[int, str]] = []
+    wedged = False
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
+    try:
+        futures = [pool.submit(_run_sample, spec) for spec in specs]
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result(timeout=hard_cap)
+            except BrokenProcessPool:
+                future.cancel()
+                failures.append((index, "worker process died"))
+            except FutureTimeout:
+                future.cancel()
+                wedged = True
+                failures.append((index, "worker exceeded the hard timeout"))
+            except Exception as exc:  # noqa: BLE001 — every spec retries
+                failures.append((index, f"{type(exc).__name__}: {exc}"))
+    finally:
+        # A wedged worker would block a waiting shutdown forever; leave
+        # it to finish (or die) on its own and reclaim the grid now.
+        pool.shutdown(wait=not wedged, cancel_futures=True)
+    if failures:
+        preview = "; ".join(
+            f"sample {index}: {reason}" for index, reason in failures[:3]
+        )
+        more = "" if len(failures) <= 3 else f" (+{len(failures) - 3} more)"
+        print(
+            f"repro: retrying {len(failures)}/{len(specs)} grid samples "
+            f"serially after worker failures [{preview}{more}]",
+            file=sys.stderr,
+        )
+        for index, _reason in failures:
+            results[index] = _run_sample(specs[index])
+    return results
 
 
 def _finish_result(
@@ -568,8 +831,21 @@ def run_benchmark(
         # sample's result is a deterministic function of its spec either
         # way. Only ad-hoc workloads (scale=None, not reproducible from
         # a name) take the legacy inline loop below.
+        resume_dir = experiment_resume_dir()
+        key = None
+        if resume_dir is not None:
+            key = _resume_key(
+                workload.name, workload.scale, mode, bits, runtime,
+                setup, environment,
+            )
+            cached = _load_resumed(resume_dir, key)
+            if cached is not None:
+                result.runs.extend(cached)
+                return _finish_result(result, setup)
         specs = _sample_specs(workload, mode, bits, runtime, setup, environment, reference)
         result.runs.extend(_map_samples(specs, jobs))
+        if resume_dir is not None:
+            _save_resumed(resume_dir, key, result.runs)
         return _finish_result(result, setup)
 
     kernel = build_anytime(workload, mode, bits)
@@ -596,9 +872,11 @@ def run_benchmark(
                 watchdog_cycles=environment.watchdog_cycles if runtime == "clank" else None,
             )
             if not run.result.completed:
-                raise RuntimeError(
+                raise IncompleteRun(
                     f"{workload.name} [{mode}/{runtime}] did not complete on "
-                    f"trace {trace.name!r} within {setup.max_wall_ms} ms"
+                    f"trace {trace.name!r} within {setup.max_wall_ms} ms",
+                    outages=run.result.outages,
+                    active_cycles=run.result.active_cycles,
                 )
             error = nrmse(reference, workload.decode(run.outputs))
             if TRACER.enabled:
@@ -652,8 +930,26 @@ def run_benchmark_suite(
             for mode, bits in configs
         ]
 
+    # Per-config resume: already-persisted configurations are excluded
+    # from the pooled grid entirely, so a restarted run only pays for
+    # the work the interrupt lost.
+    resume_dir = experiment_resume_dir()
+    keys: Dict[int, str] = {}
+    cached: Dict[int, List[SampleRun]] = {}
+    if resume_dir is not None:
+        for index, (mode, bits) in enumerate(configs):
+            keys[index] = _resume_key(
+                workload.name, workload.scale, mode, bits, runtime,
+                setup, environment,
+            )
+            runs = _load_resumed(resume_dir, keys[index])
+            if runs is not None:
+                cached[index] = runs
+
     all_specs: List[SampleSpec] = []
-    for mode, bits in configs:
+    for index, (mode, bits) in enumerate(configs):
+        if index in cached:
+            continue
         all_specs.extend(
             _sample_specs(workload, mode, bits, runtime, setup, environment, reference)
         )
@@ -661,9 +957,17 @@ def run_benchmark_suite(
 
     per_config = setup.trace_count * setup.invocations
     results = []
+    cursor = 0
     for index, (mode, bits) in enumerate(configs):
         result = BenchmarkResult(workload.name, mode, bits, runtime)
-        result.runs.extend(runs[index * per_config:(index + 1) * per_config])
+        if index in cached:
+            result.runs.extend(cached[index])
+        else:
+            chunk = runs[cursor:cursor + per_config]
+            cursor += per_config
+            result.runs.extend(chunk)
+            if resume_dir is not None:
+                _save_resumed(resume_dir, keys[index], chunk)
         results.append(_finish_result(result, setup))
     return results
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.anytime import AnytimeKernel
+from ..errors import IncompleteRun
 from ..power.energy import EnergyModel
 from ..workloads import make_workload
 from .common import (
@@ -98,7 +99,11 @@ def _analyze(
     )
     result = run.result
     if not result.completed:
-        raise RuntimeError(f"{workload.name} did not complete on {runtime}")
+        raise IncompleteRun(
+            f"{workload.name} did not complete on {runtime}",
+            outages=result.outages,
+            active_cycles=result.active_cycles,
+        )
     stats = result.runtime_stats
     total = result.active_cycles
     program = max(0, total - stats.checkpoint_cycles - stats.restore_cycles)

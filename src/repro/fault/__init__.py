@@ -1,0 +1,52 @@
+"""Deterministic fault injection and crash-consistency checking.
+
+The chaos engine drives the same CPU/supply/runtime triple the normal
+experiment harness uses, but through a :class:`~repro.fault.injectors.ChaosSupply`
+that forces power outages at semantically nasty points (mid-checkpoint
+commit, right after a skim arm, at the exact restore tick, at an exact
+cycle count), flips NVM bits at reboot, and tears checkpoint commits.
+A crash-consistency oracle (:mod:`repro.fault.oracle`) checks the
+machine-readable invariants the paper's forward-progress argument rests
+on, and deliberately-broken mutant runtimes (:mod:`repro.fault.mutants`)
+prove the oracle can actually see a broken runtime.
+
+Everything is seeded: the same seed reproduces the same scenarios, the
+same injected faults and a byte-identical campaign report.
+"""
+
+from .campaign import generate_scenarios, run_campaign, run_scenario
+from .fuzz import burst_outage_trace, fuzzed_traces, knife_edge_trace
+from .injectors import ChaosController, ChaosSupply
+from .mutants import MUTANTS, NonAtomicCommitClank, SkipWarScanClank
+from .oracle import GoldenBundle, check_outputs, compute_golden
+from .plan import (
+    BitFlip,
+    FaultPlan,
+    OutageAtCheckpoint,
+    OutageAtCycle,
+    OutageAtRestore,
+    OutageAtSkimArm,
+)
+
+__all__ = [
+    "BitFlip",
+    "ChaosController",
+    "ChaosSupply",
+    "FaultPlan",
+    "GoldenBundle",
+    "MUTANTS",
+    "NonAtomicCommitClank",
+    "OutageAtCheckpoint",
+    "OutageAtCycle",
+    "OutageAtRestore",
+    "OutageAtSkimArm",
+    "SkipWarScanClank",
+    "burst_outage_trace",
+    "check_outputs",
+    "compute_golden",
+    "fuzzed_traces",
+    "generate_scenarios",
+    "knife_edge_trace",
+    "run_campaign",
+    "run_scenario",
+]

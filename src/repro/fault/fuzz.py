@@ -1,0 +1,75 @@
+"""Seeded power-trace fuzzer.
+
+The harvest traces the experiment harness uses (``paper_traces``) model
+realistic RF harvesting. The chaos campaign wants *adversarial* power:
+bursts just long enough to start work but not finish it, and knife-edge
+supplies that hover around the turn-on threshold so brown-outs land at
+maximally awkward moments. Traces wrap (``PowerTrace.power_at`` is
+modular), so a scenario that survives the nastiness eventually sees
+power again and completes — livelocks are converted to typed
+:class:`~repro.errors.ProgressStall` by the executor's guards, never a
+hang.
+
+All generators are pure functions of their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..power.trace import PowerTrace
+
+#: Power comfortably above the supply's sustaining level (W).
+_BURST_HIGH_W = 0.080
+#: Power around the capacitor charge/brown-out knife edge (W).
+_KNIFE_LOW_W = 0.002
+_KNIFE_HIGH_W = 0.020
+
+
+def burst_outage_trace(seed: int, duration_ms: int = 1200) -> PowerTrace:
+    """Short strong bursts separated by dead gaps.
+
+    Each burst delivers real power for 3-25 ms, then the supply is dead
+    for 1-30 ms — forcing frequent outages while guaranteeing (via
+    wrapping) that execution eventually finishes."""
+    rng = random.Random(seed)
+    samples: List[float] = []
+    while len(samples) < duration_ms:
+        burst = rng.randint(3, 25)
+        power = rng.uniform(0.3 * _BURST_HIGH_W, _BURST_HIGH_W)
+        samples.extend([power] * burst)
+        samples.extend([0.0] * rng.randint(1, 30))
+    return PowerTrace(samples[:duration_ms], name=f"burst-{seed}")
+
+
+def knife_edge_trace(seed: int, duration_ms: int = 1500) -> PowerTrace:
+    """Supply hovering around the capacitor's charge knife edge.
+
+    Long stretches barely charge the capacitor, punctuated by short
+    rescue bursts so forward progress is possible — exactly the regime
+    where just-in-time (Hibernus) snapshots and watchdog checkpoints
+    earn their keep."""
+    rng = random.Random(seed ^ 0x5EED)
+    samples: List[float] = []
+    while len(samples) < duration_ms:
+        stretch = rng.randint(10, 80)
+        power = rng.uniform(_KNIFE_LOW_W, _KNIFE_HIGH_W)
+        samples.extend([power] * stretch)
+        if rng.random() < 0.5:
+            samples.extend([_BURST_HIGH_W] * rng.randint(2, 8))
+    return PowerTrace(samples[:duration_ms], name=f"knife-{seed}")
+
+
+def fuzzed_traces(seed: int, count: int) -> List[PowerTrace]:
+    """``count`` adversarial traces, alternating burst and knife-edge
+    shapes, each independently seeded from ``seed``."""
+    rng = random.Random(seed)
+    traces: List[PowerTrace] = []
+    for index in range(count):
+        sub = rng.randrange(1 << 30)
+        if index % 2 == 0:
+            traces.append(burst_outage_trace(sub))
+        else:
+            traces.append(knife_edge_trace(sub))
+    return traces

@@ -1,0 +1,54 @@
+"""Deliberately broken runtimes: the oracle's sensitivity proof.
+
+A chaos campaign that reports zero violations is only evidence if the
+oracle *can* see a broken runtime. These mutants each disable one
+mechanism the paper's forward-progress story depends on; the campaign
+runs them under the same seeded scenarios and must flag every one
+(asserted in ``tests/test_chaos_campaign.py`` and the CI chaos-smoke
+job).
+
+* :class:`SkipWarScanClank` never checkpoints before a WAR-violating
+  store. After an outage the device re-executes a non-idempotent
+  region against already-updated memory, so read-modify-write results
+  corrupt — caught by the **output-golden** invariant.
+* :class:`NonAtomicCommitClank` commits checkpoints without double
+  buffering. When the chaos engine tears a commit, the mixed
+  old/new checkpoint (new registers under the old PC) survives the
+  reboot and the next restore consumes a state that never existed —
+  caught by the **atomic-commit** invariant.
+"""
+
+from __future__ import annotations
+
+from ..runtime.clank import ClankRuntime
+
+
+class SkipWarScanClank(ClankRuntime):
+    """Clank without the write-after-read scan: stores never trigger
+    the checkpoint that keeps re-executed regions idempotent."""
+
+    mutant = "skip-war-scan"
+
+    def _on_store(self, addr: int, size: int) -> int:
+        """Let every store commit unchecked (the broken behaviour)."""
+        self._written.update(range(addr, addr + size))
+        return 0
+
+
+class NonAtomicCommitClank(ClankRuntime):
+    """Clank whose checkpoint commit is a plain overwrite.
+
+    The flag is consumed by the torn-commit injector: with
+    ``atomic_commit=False`` a commit interrupted by power failure
+    leaves the mixed write in NVM instead of the old checkpoint."""
+
+    mutant = "non-atomic-commit"
+    atomic_commit = False
+
+
+#: Registry the campaign and CLI iterate: name -> (runtime it replaces,
+#: mutant class).
+MUTANTS = {
+    "skip-war-scan": ("clank", SkipWarScanClank),
+    "non-atomic-commit": ("clank", NonAtomicCommitClank),
+}

@@ -1,0 +1,171 @@
+"""Fault plans: *what* to break and *when*.
+
+A :class:`FaultPlan` is a declarative, picklable description of the
+faults one chaos scenario injects. Events target the points a crash is
+semantically nastiest for an intermittent runtime:
+
+* :class:`OutageAtCycle` — power fails at an exact active-cycle count,
+  wherever that lands in the program (possibly mid subword pass).
+* :class:`OutageAtCheckpoint` — power fails in the tick of the k-th
+  checkpoint commit; with ``torn=True`` the device dies *during* the
+  commit itself, so the new checkpoint only survives if the runtime
+  commits atomically (double-buffered pointer flip).
+* :class:`OutageAtRestore` — power fails again in the very first tick
+  after the k-th restore, before the restore overhead amortizes.
+* :class:`OutageAtSkimArm` — power fails in the tick the k-th ``SKM``
+  retires, between arming the non-volatile skim register and the NVM
+  stores of the following pass.
+* :class:`BitFlip` — at the k-th outage, a single NVM bit flips. A
+  ``scratch`` flip lands outside every data slot (must be invisible);
+  a ``data`` flip lands inside a live array (the run must still obey
+  every mechanical invariant, but output equality is waived).
+
+Events count from 1 (``ordinal=1`` is the first checkpoint / restore /
+arm / outage). Events that never trigger — a checkpoint ordinal past the
+last checkpoint, a cycle target past the end of the run — are harmless
+no-ops, which lets a seeded generator draw parameters freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class OutageAtCycle:
+    """Force a brown-out at an exact ``supply.total_cycles`` mark."""
+
+    at_cycle: int
+
+    def describe(self) -> dict:
+        """JSON-friendly description for campaign reports."""
+        return {"kind": "outage-at-cycle", "at_cycle": self.at_cycle}
+
+
+@dataclass(frozen=True)
+class OutageAtCheckpoint:
+    """Force a brown-out in the tick of the ``ordinal``-th checkpoint
+    commit; ``torn=True`` interrupts the commit itself."""
+
+    ordinal: int
+    torn: bool = False
+
+    def describe(self) -> dict:
+        """JSON-friendly description for campaign reports."""
+        return {
+            "kind": "outage-at-checkpoint",
+            "ordinal": self.ordinal,
+            "torn": self.torn,
+        }
+
+
+@dataclass(frozen=True)
+class OutageAtRestore:
+    """Force a brown-out in the first tick after the ``ordinal``-th
+    restore (the restore's own overhead may not even finish paying)."""
+
+    ordinal: int
+
+    def describe(self) -> dict:
+        """JSON-friendly description for campaign reports."""
+        return {"kind": "outage-at-restore", "ordinal": self.ordinal}
+
+
+@dataclass(frozen=True)
+class OutageAtSkimArm:
+    """Force a brown-out in the tick the ``ordinal``-th ``SKM`` retires."""
+
+    ordinal: int
+
+    def describe(self) -> dict:
+        """JSON-friendly description for campaign reports."""
+        return {"kind": "outage-at-skim-arm", "ordinal": self.ordinal}
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """Flip one NVM bit when the ``at_outage``-th outage lands.
+
+    ``target`` is ``"scratch"`` (an address outside every array slot —
+    the flip must be completely invisible to the program) or ``"data"``
+    (inside a live slot — physical corruption, so the oracle waives
+    output equality but keeps every mechanical invariant). ``offset``
+    selects the byte: for scratch flips it offsets from the scratch
+    base the injector picks past the last slot; for data flips it
+    offsets into the chosen slot (wrapped to its size)."""
+
+    at_outage: int
+    target: str = "scratch"  # "scratch" | "data"
+    offset: int = 0
+    bit: int = 0
+
+    def describe(self) -> dict:
+        """JSON-friendly description for campaign reports."""
+        return {
+            "kind": "bit-flip",
+            "at_outage": self.at_outage,
+            "target": self.target,
+            "offset": self.offset,
+            "bit": self.bit,
+        }
+
+
+@dataclass
+class FaultPlan:
+    """The faults one scenario injects, indexed for O(1) lookup.
+
+    ``max_torn`` guards the invariant the injector relies on: at most
+    one torn commit per plan (a second torn commit while the first's
+    NVM rewind is still pending would compose two rewinds)."""
+
+    cycle_outages: List[OutageAtCycle] = field(default_factory=list)
+    checkpoint_outages: List[OutageAtCheckpoint] = field(default_factory=list)
+    restore_outages: List[OutageAtRestore] = field(default_factory=list)
+    skim_arm_outages: List[OutageAtSkimArm] = field(default_factory=list)
+    bit_flips: List[BitFlip] = field(default_factory=list)
+
+    def __post_init__(self):
+        torn = [e for e in self.checkpoint_outages if e.torn]
+        if len(torn) > 1:
+            raise ValueError("a FaultPlan allows at most one torn commit")
+
+    @property
+    def events(self) -> list:
+        """All events, in a stable order."""
+        return (
+            list(self.cycle_outages)
+            + list(self.checkpoint_outages)
+            + list(self.restore_outages)
+            + list(self.skim_arm_outages)
+            + list(self.bit_flips)
+        )
+
+    def describe(self) -> List[dict]:
+        """JSON-friendly event list for campaign reports."""
+        return [event.describe() for event in self.events]
+
+    # -- indexed views the injector consumes -------------------------------
+
+    def checkpoint_events(self) -> Dict[int, OutageAtCheckpoint]:
+        """Checkpoint events keyed by commit ordinal."""
+        return {e.ordinal: e for e in self.checkpoint_outages}
+
+    def restore_ordinals(self) -> Dict[int, OutageAtRestore]:
+        """Restore events keyed by restore ordinal."""
+        return {e.ordinal: e for e in self.restore_outages}
+
+    def skim_arm_ordinals(self) -> Dict[int, OutageAtSkimArm]:
+        """Skim-arm events keyed by arm ordinal."""
+        return {e.ordinal: e for e in self.skim_arm_outages}
+
+    def flips_by_outage(self) -> Dict[int, List[BitFlip]]:
+        """Bit flips grouped by the outage ordinal that applies them."""
+        flips: Dict[int, List[BitFlip]] = {}
+        for flip in self.bit_flips:
+            flips.setdefault(flip.at_outage, []).append(flip)
+        return flips
+
+    def cycle_targets(self) -> List[int]:
+        """Sorted absolute cycle marks for forced outages."""
+        return sorted(e.at_cycle for e in self.cycle_outages)

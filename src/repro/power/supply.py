@@ -24,13 +24,18 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..errors import ProgressStall, SupplyStateError
 from .capacitor import Capacitor
 from .energy import EnergyModel
 from .trace import PowerTrace
 
 
-class SupplyExhausted(Exception):
-    """Raised when the harvest trace cannot ever turn the device on."""
+class SupplyExhausted(ProgressStall):
+    """Raised when the harvest trace cannot ever turn the device on.
+
+    A :class:`~repro.errors.ProgressStall`: a dead trace is the extreme
+    no-forward-progress environment, and the chaos campaign classifies
+    it as a graceful (non-violation) outcome."""
 
 
 class PowerSupply:
@@ -88,7 +93,7 @@ class PowerSupply:
         so an energy-capped tick *ends in a brown-out* (recorded here,
         applied by :meth:`finish_tick`)."""
         if not self.on:
-            raise RuntimeError("begin_tick while supply is off")
+            raise SupplyStateError("begin_tick while supply is off", tick=self.tick)
         self.capacitor.harvest(self.trace.energy_at(self.tick))
         energy_limited = self.energy.cycles_for_energy(self.capacitor.usable_energy)
         self._tick_energy_limited = energy_limited < self.energy.cycles_per_ms
@@ -109,7 +114,7 @@ class PowerSupply:
         cycle — the next instruction would drag the supply under the
         threshold mid-flight."""
         if not self.on:
-            raise RuntimeError("finish_tick while supply is off")
+            raise SupplyStateError("finish_tick while supply is off", tick=self.tick)
         self.tick += 1
         self.total_on_ms += 1
         drained = (

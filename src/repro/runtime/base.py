@@ -35,6 +35,11 @@ class IntermittentRuntime(ABC):
     """Forward-progress policy plugged into the executor."""
 
     name = "abstract"
+    #: Checkpoint commits are atomic (double-buffered pointer flip): a
+    #: commit interrupted by power failure leaves the *old* checkpoint
+    #: intact. The chaos engine's torn-commit injector consults this;
+    #: only deliberately broken mutants set it False.
+    atomic_commit = True
 
     def __init__(self, skim: SkimRegister = None):
         self.skim = skim if skim is not None else SkimRegister()

@@ -13,13 +13,54 @@ jumped to the skim target and the approximate output was accepted).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Optional
 
+from ..errors import ProgressStall, SampleTimeout
 from ..observability.ledger import ProgressLedger
 from ..observability.tracer import TRACER
 from ..power.supply import PowerSupply
 from ..sim.cpu import CPU
 from .base import IntermittentRuntime, RuntimeStats
+
+#: Consecutive identical-state restores before declaring a livelock.
+STALLED_RESTORE_LIMIT = 64
+
+#: Consecutive ON ticks with zero cycles executed before declaring a
+#: stall. A tick can legitimately run zero cycles while the capacitor
+#: accumulates enough charge for the next (expensive) instruction, but
+#: thousands in a row mean the supply tops out below that instruction's
+#: cost — the Hibernus/NVP knife-edge livelock that previously hung
+#: until ``max_wall_ms``.
+IDLE_TICK_LIMIT = 5_000
+
+#: Wall-clock deadline (``time.monotonic()`` seconds) the executors
+#: check once per simulated tick; ``None`` disables the check. Set by
+#: the experiment harness around each sample when the
+#: ``REPRO_SAMPLE_TIMEOUT`` knob is armed (see
+#: :func:`set_sample_deadline`).
+_SAMPLE_DEADLINE: Optional[float] = None
+
+
+def set_sample_deadline(deadline: Optional[float]) -> None:
+    """Arm (or clear, with ``None``) the cooperative per-sample
+    wall-clock deadline. Both the live and replay executors poll it once
+    per simulated millisecond and raise :class:`~repro.errors.SampleTimeout`
+    when it passes — so a pathological sample dies with a typed error
+    instead of hanging its worker process."""
+    global _SAMPLE_DEADLINE
+    _SAMPLE_DEADLINE = deadline
+
+
+def check_sample_deadline(tick: int) -> None:
+    """Raise :class:`~repro.errors.SampleTimeout` if the armed deadline
+    passed; no-op (one ``is None`` test) when no deadline is armed."""
+    if _SAMPLE_DEADLINE is not None and time.monotonic() > _SAMPLE_DEADLINE:
+        raise SampleTimeout(
+            "sample exceeded its REPRO_SAMPLE_TIMEOUT wall-clock budget",
+            tick=tick,
+        )
 
 
 @dataclass
@@ -80,12 +121,14 @@ class IntermittentExecutor:
         ledger = ProgressLedger()
         timed_out = False
         stalled_restores = 0
+        idle_ticks = 0
         last_restore_signature = None
 
         while not cpu.halted:
             if supply.tick - start_tick > max_wall_ms:
                 timed_out = True
                 break
+            check_sample_deadline(supply.tick)
 
             if not supply.on:
                 supply.charge_until_on()
@@ -109,13 +152,14 @@ class IntermittentExecutor:
                 signature = (cpu.pc, tuple(cpu.regs.regs))
                 if signature == last_restore_signature:
                     stalled_restores += 1
-                    if stalled_restores >= 64:
-                        raise RuntimeError(
+                    if stalled_restores >= STALLED_RESTORE_LIMIT:
+                        raise ProgressStall(
                             "forward-progress livelock: 64 consecutive "
                             "restores resumed from the same state; no "
                             "progress survives the power cycles. Enlarge "
                             "the storage capacitor or shorten the "
-                            "runtime's watchdog/checkpoint period."
+                            "runtime's watchdog/checkpoint period.",
+                            pc=cpu.pc, tick=supply.tick, runtime=runtime.name,
                         )
                 else:
                     stalled_restores = 0
@@ -179,9 +223,30 @@ class IntermittentExecutor:
                     ledger.commit()
             supply.consume_cycles(used)
 
-            if not supply.finish_tick():
+            if supply.finish_tick():
+                # Forward-progress watchdog: the supply stayed up but
+                # nothing ran. Charging toward an expensive instruction
+                # takes a few such ticks; thousands mean the capacitor
+                # tops out below the instruction's cost and the device
+                # would sit here forever.
+                if used == 0:
+                    idle_ticks += 1
+                    if idle_ticks >= IDLE_TICK_LIMIT:
+                        raise ProgressStall(
+                            f"forward-progress stall: {IDLE_TICK_LIMIT} "
+                            "consecutive powered ticks executed zero "
+                            "cycles; the stored energy cannot cover the "
+                            "next instruction. Enlarge the storage "
+                            "capacitor or weaken the workload.",
+                            pc=cpu.pc, tick=supply.tick,
+                            runtime=runtime.name,
+                        )
+                else:
+                    idle_ticks = 0
+            else:
                 # Power outage: discard volatile state, drop any pending
                 # overhead (it never got to execute).
+                idle_ticks = 0
                 pending_overhead = 0
                 if self.volatile_core and not cpu.halted:
                     ledger.discard()

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.anytime import IntermittentRun
+from ..errors import ProgressStall
 from ..observability.ledger import ProgressLedger
 from ..observability.tracer import TRACER
 from ..power.capacitor import Capacitor
@@ -39,7 +40,13 @@ from ..power.trace import PowerTrace
 from ..sim.replay import ReplayRecord
 from .checkpoint import Checkpoint
 from .clank import ClankRuntime, ClankReplayPolicy
-from .executor import IntermittentExecutor, RunResult
+from .executor import (
+    IDLE_TICK_LIMIT,
+    STALLED_RESTORE_LIMIT,
+    IntermittentExecutor,
+    RunResult,
+    check_sample_deadline,
+)
 from .hibernus import HibernusRuntime, HibernusReplayPolicy
 from .nvp import NVPRuntime, NVPReplayPolicy
 from .base import ReplayPolicy
@@ -95,6 +102,7 @@ class ReplayExecutor:
         ledger = self.ledger
         volatile = policy.name != "nvp"
         stalled_restores = 0
+        idle_ticks = 0
         last_restore_signature = None
         jit_snapshot = getattr(policy, "on_low_voltage", None)
         interval = policy.watchdog_cycles
@@ -103,6 +111,7 @@ class ReplayExecutor:
             if supply.tick - start_tick > max_wall_ms:
                 self.timed_out = True
                 break
+            check_sample_deadline(supply.tick)
 
             if not supply.on:
                 supply.charge_until_on()
@@ -129,8 +138,12 @@ class ReplayExecutor:
                 signature = policy.resume_position
                 if signature == last_restore_signature:
                     stalled_restores += 1
-                    if stalled_restores >= 64:
-                        raise RuntimeError(_LIVELOCK_MESSAGE)
+                    if stalled_restores >= STALLED_RESTORE_LIMIT:
+                        raise ProgressStall(
+                            _LIVELOCK_MESSAGE,
+                            position=policy.resume_position,
+                            tick=supply.tick, runtime=policy.name,
+                        )
                 else:
                     stalled_restores = 0
                     last_restore_signature = signature
@@ -180,7 +193,25 @@ class ReplayExecutor:
                     ledger.commit()
             supply.consume_cycles(used)
 
-            if not supply.finish_tick():
+            if supply.finish_tick():
+                # Forward-progress watchdog — the replay twin of the
+                # live executor's idle-tick guard.
+                if used == 0:
+                    idle_ticks += 1
+                    if idle_ticks >= IDLE_TICK_LIMIT:
+                        raise ProgressStall(
+                            f"forward-progress stall: {IDLE_TICK_LIMIT} "
+                            "consecutive powered ticks executed zero "
+                            "cycles; the stored energy cannot cover the "
+                            "next instruction. Enlarge the storage "
+                            "capacitor or weaken the workload.",
+                            position=policy.cursor, tick=supply.tick,
+                            runtime=policy.name,
+                        )
+                else:
+                    idle_ticks = 0
+            else:
+                idle_ticks = 0
                 pending_overhead = 0
                 if volatile and not policy.halted:
                     ledger.discard()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..errors import SkimStateError
 from ..observability.tracer import TRACER
 
 
@@ -85,7 +86,10 @@ class SkimRegister:
     def consume(self) -> int:
         """Take the skim jump: returns the target and clears the register."""
         if self._target is None:
-            raise RuntimeError("skim register is not armed")
+            raise SkimStateError(
+                "skim register is not armed",
+                quality_level=self.quality_level,
+            )
         target = self._target
         self._target = None
         self.taken_count += 1

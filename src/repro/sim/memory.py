@@ -206,6 +206,20 @@ class Memory:
             region = self._by_name[name]
             region.data[:] = data
 
+    def snapshot_nonvolatile(self) -> Dict[str, bytes]:
+        """Copy every non-volatile region's bytes.
+
+        The mirror of :meth:`snapshot_volatile`, used by the chaos
+        engine's torn-commit injector: a commit interrupted by power
+        failure rewinds durable state to the commit point."""
+        return {r.name: bytes(r.data) for r in self.regions if not r.volatile}
+
+    def restore_nonvolatile(self, snap: Dict[str, bytes]) -> None:
+        """Write a :meth:`snapshot_nonvolatile` payload back in place."""
+        for name, data in snap.items():
+            region = self._by_name[name]
+            region.data[:] = data
+
 
 def default_memory() -> Memory:
     """A fresh memory with the standard NVM + SRAM map."""

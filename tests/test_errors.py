@@ -1,0 +1,68 @@
+"""The typed error hierarchy (``repro.errors``).
+
+Every failure the executors/harness raise must be a ``ReproError``
+subclass so callers can catch by meaning instead of string-matching
+bare RuntimeErrors — and the messages must carry machine-readable
+context (cycle, pc, invariant) for post-mortems.
+"""
+
+import pytest
+
+from repro.errors import (
+    ConsistencyViolation,
+    IllegalRestoreError,
+    IncompleteRun,
+    ProgressStall,
+    ReproError,
+    SampleTimeout,
+    SkimStateError,
+    SupplyStateError,
+    TornCheckpointError,
+)
+from repro.power.supply import SupplyExhausted
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error_and_a_runtime_error(self):
+        for cls in (
+            ConsistencyViolation, TornCheckpointError, IllegalRestoreError,
+            ProgressStall, IncompleteRun, SampleTimeout, SkimStateError,
+            SupplyStateError, SupplyExhausted,
+        ):
+            assert issubclass(cls, ReproError)
+            assert issubclass(cls, RuntimeError)
+
+    def test_consistency_subtypes(self):
+        assert issubclass(TornCheckpointError, ConsistencyViolation)
+        assert issubclass(IllegalRestoreError, ConsistencyViolation)
+
+    def test_supply_exhausted_is_a_progress_stall(self):
+        # A dead harvest trace is a (graceful) forward-progress stall,
+        # so campaign/harness code can treat both with one except.
+        assert issubclass(SupplyExhausted, ProgressStall)
+
+    def test_legacy_catch_still_works(self):
+        # Pre-existing callers catching RuntimeError keep working.
+        with pytest.raises(RuntimeError):
+            raise IncompleteRun("sample missed its deadline")
+
+
+class TestContextFormatting:
+    def test_context_is_appended_sorted(self):
+        err = ReproError("boom", pc=12, cycle=340)
+        assert str(err) == "boom [cycle=340, pc=12]"
+        assert err.context == {"pc": 12, "cycle": 340}
+
+    def test_no_context_is_plain(self):
+        assert str(ReproError("boom")) == "boom"
+
+    def test_violation_invariant_attribute(self):
+        err = ConsistencyViolation("bad", invariant="atomic-commit", ordinal=2)
+        assert err.invariant == "atomic-commit"
+        assert "ordinal=2" in str(err)
+
+    def test_torn_checkpoint_default_invariant(self):
+        assert TornCheckpointError("torn").invariant == "atomic-commit"
+
+    def test_illegal_restore_default_invariant(self):
+        assert IllegalRestoreError("bad pc").invariant == "legal-restore-pc"

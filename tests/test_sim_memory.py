@@ -103,6 +103,25 @@ class TestVolatility:
         mem.restore_volatile(snap)
         assert mem.load_word(SRAM_BASE) == 42
 
+    def test_nonvolatile_snapshot_roundtrip(self):
+        mem = default_memory()
+        mem.store_word(NVM_BASE + 8, 77)
+        snap = mem.snapshot_nonvolatile()
+        assert set(snap) == {"nvm"}
+        mem.store_word(NVM_BASE + 8, 99)
+        mem.restore_nonvolatile(snap)
+        assert mem.load_word(NVM_BASE + 8) == 77
+
+    def test_restore_nonvolatile_preserves_buffer_identity(self):
+        mem = default_memory()
+        nvm = mem.region("nvm")
+        buffer = nvm.data
+        snap = mem.snapshot_nonvolatile()
+        mem.store_word(NVM_BASE, 5)
+        mem.restore_nonvolatile(snap)
+        assert nvm.data is buffer
+        assert mem.load_word(NVM_BASE) == 0
+
     def test_region_lookup_by_name(self):
         mem = default_memory()
         assert mem.region("nvm").volatile is False
