@@ -240,22 +240,29 @@ def cmd_bench(args) -> int:
 
 
 def _bench_grid(args) -> int:
-    """Grid harness: interpreter vs replay engine on the fig10 grid."""
+    """Grid harness: interpreter vs replay vs batch on the fig10 grid."""
     import pathlib
 
     from . import benchmarking
 
     output = pathlib.Path(args.output) if args.output else None
-    payload = benchmarking.write_grid_bench(
-        path=output, reps=args.reps or 3, scale=args.scale,
-        history=_history_path(args),
-    )
+    history = _history_path(args)
+    payload = benchmarking.run_grid_bench(reps=args.reps or 3, scale=args.scale)
     print(benchmarking.format_grid_bench(payload))
-    print(f"wrote {output or benchmarking.DEFAULT_GRID_OUTPUT}")
     if not payload["grid"]["identical"]:
-        print("GRID CHECK FAILED: replay results diverged from the interpreter",
+        print("GRID CHECK FAILED: engine results diverged from the interpreter",
               file=sys.stderr)
         return 1
+    failures = benchmarking.check_grid_history(payload, history) \
+        if history is not None else []
+    if failures:
+        # Gate before persisting: a regressed run must not seed the
+        # rolling median it just failed against.
+        for failure in failures:
+            print(f"SPEED REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    benchmarking.save_grid_bench(payload, output, history)
+    print(f"wrote {output or benchmarking.DEFAULT_GRID_OUTPUT}")
     return 0
 
 
@@ -449,9 +456,11 @@ def main(argv: Optional[list] = None) -> int:
     bench_parser.add_argument("--check", action="store_true",
                               help="interp only: fail on >30%% regression vs BENCH_interp.json")
     bench_parser.add_argument("--grid", action="store_true",
-                              help="time the fig10 grid (interpreter vs replay "
-                                   "engine) and write BENCH_grid.json; fails if "
-                                   "replay results diverge")
+                              help="time the fig10 grid on all three engines "
+                                   "(interpreter, replay, batch) and write "
+                                   "BENCH_grid.json; fails if any engine "
+                                   "diverges or a rate regresses >30%% vs the "
+                                   "history median")
     bench_parser.add_argument("--reps", type=int, default=None,
                               help="interp/grid: timing repetitions per config")
     bench_parser.add_argument("--output", default=None,

@@ -157,10 +157,57 @@ def grid_history_record(payload: dict) -> dict:
     return {
         "kind": "grid",
         "t": round(time.time(), 1),
+        "scale": grid["scale"],
         "machine_ops_per_s": payload["machine_ops_per_s"],
         "normalized_replay": grid["normalized_replay"],
+        "normalized_batch": grid["normalized_batch"],
         "identical": grid["identical"],
     }
+
+
+def check_grid_history(
+    payload: dict,
+    path: Optional[Path] = None,
+    tolerance: float = REGRESSION_TOLERANCE,
+    window: int = HISTORY_WINDOW,
+) -> List[str]:
+    """Gate grid rates against the rolling median of the grid history.
+
+    Mirrors :func:`check_history` for the per-sample engines: per rate
+    (replay and batch), the floor is ``median(last window grid records)
+    * (1 - tolerance)``. Records from before a rate existed simply
+    don't contribute to its median; an empty history passes trivially.
+    Only records at the payload's scale participate — normalized rates
+    are not comparable across grid scales (records predating the scale
+    stamp are treated as default-scale).
+    """
+    scale = payload["grid"]["scale"]
+    records = [
+        r
+        for r in load_history(path)
+        if r.get("kind") == "grid" and r.get("scale", "default") == scale
+    ]
+    records = records[-window:]
+    grid = payload["grid"]
+    failures = []
+    for key, label in (
+        ("normalized_replay", "replay"),
+        ("normalized_batch", "batch"),
+    ):
+        values = [
+            r[key] for r in records if isinstance(r.get(key), (int, float))
+        ]
+        if not values:
+            continue
+        median = statistics.median(values)
+        floor = median * (1.0 - tolerance)
+        if grid[key] < floor:
+            failures.append(
+                f"grid {label}: normalized rate {grid[key]:.3e} is below "
+                f"{floor:.3e} (rolling median of {len(values)} record(s) "
+                f"{median:.3e} - {tolerance:.0%})"
+            )
+    return failures
 
 
 def append_history(record: dict, path: Optional[Path] = None) -> Path:
@@ -277,23 +324,28 @@ def _grid_sample_tuples(results) -> List[tuple]:
 
 
 def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
-    """Time the Figure-10 grid end-to-end: interpreter vs replay engine.
+    """Time the Figure-10 grid: interpreter vs replay vs batch engines.
 
-    Both passes run the identical serial grid (``REPRO_JOBS`` and
-    ``REPRO_REPLAY`` are controlled here, overriding the environment).
-    The replay timing includes recording: the commit-log cache is
-    cleared before every rep, so each measurement is a cold
-    record-once/replay-27-samples pass — exactly what a fresh process
-    would pay. Sample results from both passes are compared field by
-    field; ``identical`` in the payload reports the outcome.
+    All passes run the identical serial grid (``REPRO_JOBS``,
+    ``REPRO_REPLAY`` and ``REPRO_BATCH`` are controlled here, overriding
+    the environment). Recording is timed as its own phase: ``record_s``
+    is a cold rebuild of every config's commit log, while the replay and
+    batch passes then run against *warm* records — so the three
+    per-engine rates compare like for like (one record pass serves the
+    whole grid regardless of engine). Sample results from all passes
+    are compared field by field; ``identical`` reports the outcome
+    across all three engines.
     """
     from .experiments.common import (
         ExperimentSetup,
+        _worker_kernels,
         _worker_records,
+        build_anytime,
         calibrate_environment,
         measure_precise_cycles,
         run_benchmark_suite,
     )
+    from .sim.replay import record_run
 
     score = machine_score()
     setup = ExperimentSetup(scale=scale)
@@ -308,7 +360,20 @@ def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
             workload, configs, GRID_RUNTIME, setup, environment, reference
         )
 
-    saved = {key: os.environ.pop(key, None) for key in ("REPRO_REPLAY", "REPRO_JOBS")}
+    def build_records():
+        for mode, bits in configs:
+            kkey = (workload.name, workload.scale, mode, bits)
+            kernel = _worker_kernels.get(kkey)
+            if kernel is None:
+                kernel = _worker_kernels[kkey] = build_anytime(
+                    workload, mode, bits
+                )
+            _worker_records[kkey] = record_run(kernel, workload.inputs)
+
+    saved = {
+        key: os.environ.pop(key, None)
+        for key in ("REPRO_REPLAY", "REPRO_JOBS", "REPRO_BATCH")
+    }
     try:
         one_pass()  # warm the shared workload/kernel/trace caches
         interp_times: List[float] = []
@@ -317,13 +382,27 @@ def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
             interp_results = one_pass()
             interp_times.append(time.perf_counter() - start)
 
+        record_times: List[float] = []
+        for _ in range(reps):
+            _worker_records.clear()  # cold log rebuild each rep
+            start = time.perf_counter()
+            build_records()
+            record_times.append(time.perf_counter() - start)
+
         os.environ["REPRO_REPLAY"] = "1"
         replay_times: List[float] = []
         for _ in range(reps):
-            _worker_records.clear()  # pay the record cost every rep
             start = time.perf_counter()
             replay_results = one_pass()
             replay_times.append(time.perf_counter() - start)
+
+        del os.environ["REPRO_REPLAY"]
+        os.environ["REPRO_BATCH"] = "1"
+        batch_times: List[float] = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            batch_results = one_pass()
+            batch_times.append(time.perf_counter() - start)
     finally:
         for key, value in saved.items():
             if value is None:
@@ -331,11 +410,17 @@ def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
             else:
                 os.environ[key] = value
 
-    identical = _grid_sample_tuples(interp_results) == _grid_sample_tuples(replay_results)
+    interp_tuples = _grid_sample_tuples(interp_results)
+    identical = (
+        interp_tuples == _grid_sample_tuples(replay_results)
+        and interp_tuples == _grid_sample_tuples(batch_results)
+    )
     interp_s = statistics.median(interp_times)
+    record_s = statistics.median(record_times)
     replay_s = statistics.median(replay_times)
+    batch_s = statistics.median(batch_times)
     return {
-        "schema": 1,
+        "schema": 2,
         "machine_ops_per_s": round(score, 1),
         "reps": reps,
         "grid": {
@@ -346,14 +431,36 @@ def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
             "samples": samples,
             "identical": identical,
             "interp_s": round(interp_s, 4),
+            "record_s": round(record_s, 4),
             "replay_s": round(replay_s, 4),
+            "batch_s": round(batch_s, 4),
             "speedup": round(interp_s / replay_s, 3),
+            "batch_speedup": round(interp_s / batch_s, 3),
             "interp_samples_per_s": round(samples / interp_s, 2),
             "replay_samples_per_s": round(samples / replay_s, 2),
-            # Machine-independent: replay samples/s per machine-loop op/s.
+            "batch_samples_per_s": round(samples / batch_s, 2),
+            # Machine-independent: samples/s per machine-loop op/s.
             "normalized_replay": round(samples / replay_s / score, 9),
+            "normalized_batch": round(samples / batch_s / score, 9),
         },
     }
+
+
+def save_grid_bench(
+    payload: dict,
+    path: Optional[Path] = None,
+    history: Optional[Path] = DEFAULT_HISTORY,
+) -> Path:
+    """Write the grid payload and append its history record.
+
+    Split from :func:`run_grid_bench` so callers (the CLI smoke) can
+    gate on :func:`check_grid_history` *before* a bad run's record
+    lands in the history."""
+    path = path or DEFAULT_GRID_OUTPUT
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    if history is not None:
+        append_history(grid_history_record(payload), history)
+    return path
 
 
 def write_grid_bench(
@@ -362,27 +469,31 @@ def write_grid_bench(
     scale: str = "default",
     history: Optional[Path] = DEFAULT_HISTORY,
 ) -> dict:
-    path = path or DEFAULT_GRID_OUTPUT
     payload = run_grid_bench(reps=reps, scale=scale)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    if history is not None:
-        append_history(grid_history_record(payload), history)
+    save_grid_bench(payload, path, history)
     return payload
 
 
 def format_grid_bench(payload: dict) -> str:
-    """One-line human summary of a grid bench payload."""
+    """Human summary of a grid bench payload."""
     grid = payload["grid"]
     verdict = "bit-identical" if grid["identical"] else "RESULTS DIVERGED"
-    return (
+    lines = [
         f"{grid['workload']} fig10 grid on {grid['runtime']} "
         f"({grid['samples']} samples, scale={grid['scale']}, "
-        f"median of {payload['reps']} reps): "
-        f"interpreter {grid['interp_s']:.2f}s, "
-        f"replay {grid['replay_s']:.2f}s (record included) "
-        f"-> {grid['speedup']:.2f}x, {verdict} "
-        f"(normalized {grid['normalized_replay']:.2e})"
-    )
+        f"median of {payload['reps']} reps): {verdict}",
+        f"  record  {grid['record_s']:.2f}s cold "
+        f"(shared by replay + batch)",
+        f"  interp  {grid['interp_s']:.2f}s "
+        f"({grid['interp_samples_per_s']:.0f} samples/s)",
+        f"  replay  {grid['replay_s']:.2f}s "
+        f"({grid['replay_samples_per_s']:.0f} samples/s, "
+        f"{grid['speedup']:.2f}x, normalized {grid['normalized_replay']:.2e})",
+        f"  batch   {grid['batch_s']:.2f}s "
+        f"({grid['batch_samples_per_s']:.0f} samples/s, "
+        f"{grid['batch_speedup']:.2f}x, normalized {grid['normalized_batch']:.2e})",
+    ]
+    return "\n".join(lines)
 
 
 def format_bench(payload: dict) -> str:

@@ -235,6 +235,16 @@ def experiment_replay() -> bool:
     return os.environ.get("REPRO_REPLAY", "").strip() == "1"
 
 
+def experiment_batch() -> bool:
+    """True when ``REPRO_BATCH=1``: run each configuration's whole
+    trace x invocation grid as one lane-parallel batch over its commit
+    log (:mod:`repro.runtime.batch_executor`), demoting individual
+    samples to the per-sample replay/interpreter paths whenever the
+    batch cannot reproduce them exactly. Implies the replay engine for
+    demoted samples even when ``REPRO_REPLAY`` is unset."""
+    return os.environ.get("REPRO_BATCH", "").strip() == "1"
+
+
 #: Warn-once latches for the robustness knobs, mirroring
 #: ``_jobs_warning_emitted``: an invalid value degrades to "knob off"
 #: with a single stderr line per process, never a crash.
@@ -471,7 +481,7 @@ def _execute_sample(spec: SampleSpec) -> SampleRun:
     run = None
     engine = "interp"
     fallback = False
-    if experiment_replay():
+    if experiment_replay() or experiment_batch():
         record = _worker_records.get(kkey)
         if record is None:
             record = record_run(kernel, workload.inputs)
@@ -535,6 +545,25 @@ def _execute_sample(spec: SampleSpec) -> SampleRun:
             max_wall_ms=spec.max_wall_ms,
             watchdog_cycles=spec.watchdog_cycles if spec.runtime == "clank" else None,
         )
+    return _finalize_sample(
+        spec, run, workload, reference, trace, energy, engine, fallback
+    )
+
+
+def _finalize_sample(
+    spec: SampleSpec,
+    run,
+    workload: Workload,
+    reference,
+    trace: PowerTrace,
+    energy: EnergyModel,
+    engine: str,
+    fallback: bool,
+) -> SampleRun:
+    """Grade one finished intermittent run into a :class:`SampleRun`.
+
+    Shared tail of the per-sample and batched paths, so both produce
+    identical completion errors, metrics and ledger rollups."""
     if not run.result.completed:
         raise IncompleteRun(
             f"{spec.workload_name} [{spec.mode}/{spec.runtime}] did not "
@@ -558,6 +587,105 @@ def _execute_sample(spec: SampleSpec) -> SampleRun:
         metrics=_sample_metrics(run, engine, fallback, error),
         ledger=_sample_ledger(run, energy),
     )
+
+
+def _run_config_group(specs: List[SampleSpec]) -> List[SampleRun]:
+    """Execute one configuration's whole grid as a lane batch.
+
+    All specs share (workload, scale, mode, bits, runtime) — they are
+    one configuration's trace x invocation grid in grid order. The
+    happy path records once, batches every sample as a lane, and grades
+    the surviving runs; lanes the batch demotes (and situations the
+    batch refuses wholesale: event tracing, per-sample timeouts, fault
+    injection, a non-replayable record) fall back to
+    :func:`_run_sample`, whose results are bit-identical by
+    construction. Returns samples in grid order either way."""
+    from ..runtime.batch_executor import run_batch_group
+    from ..workloads import make_workload
+
+    if not specs:
+        return []
+    if (
+        TRACER.enabled
+        or experiment_sample_timeout() is not None
+        or experiment_faults() is not None
+    ):
+        # Tracing hooks, cooperative deadlines and per-sample chaos
+        # traces live in the scalar paths only.
+        return [_run_sample(spec) for spec in specs]
+
+    spec = specs[0]
+    wkey = (spec.workload_name, spec.scale)
+    if wkey not in _worker_workloads:
+        workload = make_workload(spec.workload_name, spec.scale)
+        _worker_workloads[wkey] = (workload, tuple(workload.decoded_reference()))
+    workload, default_reference = _worker_workloads[wkey]
+    reference = spec.reference if spec.reference is not None else default_reference
+
+    kkey = (spec.workload_name, spec.scale, spec.mode, spec.bits)
+    if kkey not in _worker_kernels:
+        _worker_kernels[kkey] = build_anytime(workload, spec.mode, spec.bits)
+    kernel = _worker_kernels[kkey]
+
+    record = _worker_records.get(kkey)
+    if record is None:
+        record = record_run(kernel, workload.inputs)
+        _worker_records[kkey] = record
+        if PROFILER.enabled and record.replayable:
+            PROFILER.collect_record(
+                record,
+                kernel.compiled.program,
+                f"{kernel.compiled.program.name}/{spec.runtime}",
+            )
+    if not record.replayable:
+        return [_run_sample(s) for s in specs]
+
+    tkey = (spec.trace_count, spec.trace_duration_ms, spec.trace_seed)
+    if tkey not in _worker_traces:
+        _worker_traces[tkey] = paper_traces(
+            count=spec.trace_count,
+            duration_ms=spec.trace_duration_ms,
+            base_seed=spec.trace_seed,
+        )
+    traces = _worker_traces[tkey]
+
+    energies = {}
+    lane_args = []
+    for s in specs:
+        energy = energies.get(s.runtime)
+        if energy is None:
+            energy = energies[s.runtime] = EnergyModel(
+                backup_overhead=NVP_BACKUP_OVERHEAD if s.runtime == "nvp" else 0.0
+            )
+        lane_args.append(
+            dict(
+                trace=traces[s.trace_index],
+                runtime=s.runtime,
+                capacitor=Capacitor(
+                    capacitance_f=s.capacitor_f, v_initial=3.0, v_max=3.3
+                ),
+                energy_model=energy,
+                start_tick=s.invocation * 313,
+                max_wall_ms=s.max_wall_ms,
+                watchdog_cycles=(
+                    s.watchdog_cycles if s.runtime == "clank" else None
+                ),
+            )
+        )
+    runs = run_batch_group(kernel, record, workload.inputs, lane_args)
+
+    results: List[SampleRun] = []
+    for s, run in zip(specs, runs):
+        if run is None:
+            results.append(_run_sample(s))
+        else:
+            results.append(
+                _finalize_sample(
+                    s, run, workload, reference, traces[s.trace_index],
+                    energies[s.runtime], "batch", False,
+                )
+            )
+    return results
 
 
 def _resume_key(
@@ -746,6 +874,66 @@ def _map_samples(specs: List[SampleSpec], jobs: int) -> List[SampleRun]:
     return results
 
 
+def _map_groups(
+    spec_groups: List[List[SampleSpec]], jobs: int
+) -> List[List[SampleRun]]:
+    """Ordered, self-healing map over per-configuration sample groups.
+
+    The batched engine's unit of work is a whole configuration (its
+    samples share one commit-log walk), so ``REPRO_JOBS`` shards by
+    *config* here, not by sample. Collection order and the serial-retry
+    net mirror :func:`_map_samples`: results are independent of worker
+    scheduling, and a group whose worker dies or errors re-runs
+    serially in the parent before anything propagates."""
+    if jobs <= 1 or len(spec_groups) <= 1:
+        return [_run_config_group(group) for group in spec_groups]
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FutureTimeout
+    from concurrent.futures.process import BrokenProcessPool
+
+    timeout = experiment_sample_timeout()
+
+    results: List[Optional[List[SampleRun]]] = [None] * len(spec_groups)
+    failures: List[Tuple[int, str]] = []
+    wedged = False
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(spec_groups)))
+    try:
+        futures = [
+            pool.submit(_run_config_group, group) for group in spec_groups
+        ]
+        for index, future in enumerate(futures):
+            hard_cap = (
+                None if timeout is None
+                else (4.0 * timeout + 30.0) * max(1, len(spec_groups[index]))
+            )
+            try:
+                results[index] = future.result(timeout=hard_cap)
+            except BrokenProcessPool:
+                future.cancel()
+                failures.append((index, "worker process died"))
+            except FutureTimeout:
+                future.cancel()
+                wedged = True
+                failures.append((index, "worker exceeded the hard timeout"))
+            except Exception as exc:  # noqa: BLE001 — every group retries
+                failures.append((index, f"{type(exc).__name__}: {exc}"))
+    finally:
+        pool.shutdown(wait=not wedged, cancel_futures=True)
+    if failures:
+        preview = "; ".join(
+            f"config group {index}: {reason}" for index, reason in failures[:3]
+        )
+        more = "" if len(failures) <= 3 else f" (+{len(failures) - 3} more)"
+        print(
+            f"repro: retrying {len(failures)}/{len(spec_groups)} config "
+            f"groups serially after worker failures [{preview}{more}]",
+            file=sys.stderr,
+        )
+        for index, _reason in failures:
+            results[index] = _run_config_group(spec_groups[index])
+    return results
+
+
 def _finish_result(
     result: BenchmarkResult, setup: ExperimentSetup
 ) -> BenchmarkResult:
@@ -757,7 +945,12 @@ def _finish_result(
     arrived inside the :class:`SampleRun` objects.
     """
     metrics = result.merged_metrics()
-    engine = "replay" if experiment_replay() else "interp"
+    if experiment_batch():
+        engine = "batch"
+    elif experiment_replay():
+        engine = "replay"
+    else:
+        engine = "interp"
     setup_info = {
         "scale": setup.scale,
         "trace_count": setup.trace_count,
@@ -843,7 +1036,12 @@ def run_benchmark(
                 result.runs.extend(cached)
                 return _finish_result(result, setup)
         specs = _sample_specs(workload, mode, bits, runtime, setup, environment, reference)
-        result.runs.extend(_map_samples(specs, jobs))
+        if experiment_batch():
+            # One configuration = one batch group; a lone config has
+            # nothing to shard, so it runs in-process.
+            result.runs.extend(_run_config_group(specs))
+        else:
+            result.runs.extend(_map_samples(specs, jobs))
         if resume_dir is not None:
             _save_resumed(resume_dir, key, result.runs)
         return _finish_result(result, setup)
@@ -946,14 +1144,20 @@ def run_benchmark_suite(
             if runs is not None:
                 cached[index] = runs
 
-    all_specs: List[SampleSpec] = []
+    spec_lists: List[List[SampleSpec]] = []
     for index, (mode, bits) in enumerate(configs):
         if index in cached:
             continue
-        all_specs.extend(
+        spec_lists.append(
             _sample_specs(workload, mode, bits, runtime, setup, environment, reference)
         )
-    runs = _map_samples(all_specs, jobs)
+    if experiment_batch():
+        # The batch walks one commit log per configuration, so the pool
+        # shards by config here — never by sample.
+        runs = [run for group in _map_groups(spec_lists, jobs) for run in group]
+    else:
+        all_specs = [spec for group in spec_lists for spec in group]
+        runs = _map_samples(all_specs, jobs)
 
     per_config = setup.trace_count * setup.invocations
     results = []

@@ -1,0 +1,428 @@
+"""Lane-parallel batched replay: one commit-log walk, N samples.
+
+One (workload, mode, bits) configuration shares a single commit log
+across its whole trace x invocation grid; the per-sample replay engine
+(:class:`~repro.runtime.replay_executor.ReplayExecutor`) nevertheless
+walks that log once *per sample*. The batch executor walks it once per
+*configuration*: every sample becomes a **lane** — its own real
+:class:`~repro.power.supply.PowerSupply`, replay policy, skim register
+and progress ledger — and the executor advances all lane cursors
+together, tick by tick.
+
+Bit-exactness strategy: the per-lane state machine is a statement-level
+transcription of ``ReplayExecutor.run`` (and of
+``ClankReplayPolicy.run_chunk`` for the segmented clank walk) operating
+on the same scalar objects, so each lane performs the identical
+sequence of operations it would perform alone. What the batch adds is
+*shared, vectorized answers* to the three data-independent questions
+every lane asks — budget bisects (:func:`advance_lanes`), WAR horizons
+(:class:`~repro.sim.batch_replay.BatchIndex`, memoized on the record)
+and off-phase charge fast-forwarding — each proven identical to its
+scalar counterpart in :mod:`repro.sim.batch_replay`. Without numpy the
+same lane-cursor loop runs on the scalar kernels: still one log walk
+and one policy-event loop for N samples, just without the vector math.
+
+Demotion: a lane whose walk leaves the happy path — a policy divergence
+(:class:`~repro.sim.replay.ReplayDiverged`), a forward-progress stall
+or a dead trace (:class:`~repro.errors.ProgressStall` /
+:class:`~repro.power.supply.SupplyExhausted`) — is dropped from the
+batch and reported as ``None``; the caller re-runs just that sample on
+the per-sample path, which reproduces the scalar behavior exactly
+(including the interpreter fallback). Whole groups are refused (all
+``None``) when the record is not replayable or event tracing is on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.anytime import IntermittentRun
+from ..errors import ProgressStall
+from ..observability.ledger import ProgressLedger
+from ..observability.tracer import TRACER
+from ..power.supply import PowerSupply
+from ..sim.batch_replay import (
+    advance_lanes,
+    build_batch_index,
+    charge_until_on_fast,
+    trace_energy_array,
+)
+from ..sim.replay import ReplayDiverged, ReplayRecord
+from .executor import IDLE_TICK_LIMIT, STALLED_RESTORE_LIMIT
+from .replay_executor import (
+    _LIVELOCK_MESSAGE,
+    _make_policy,
+    finish_replay_run,
+)
+from .skim import SkimRegister
+
+#: Exceptions that demote one lane to the per-sample path.
+_DEMOTE = (ReplayDiverged, ProgressStall)
+
+_RUN = 0
+_TICK = 1  # charged and restored this round; participates in the tick
+_FINISHED = 2  # halted, timed out, or cut at a skim point
+_DEMOTED = 3
+
+
+class _Lane:
+    """One intermittent sample's scalar state inside the batch."""
+
+    __slots__ = (
+        "runtime", "watchdog_cycles", "start_tick", "max_wall_ms",
+        "supply", "policy", "skim", "ledger", "energies",
+        "pending", "pending_kind", "stalled", "last_signature", "idle",
+        "state", "skim_cut", "timed_out", "volatile", "jit", "interval",
+        "budget", "used", "reserved", "chunk", "ckpt_before", "ran",
+        "_cur", "_consumed", "_war", "_stop", "_adv",
+    )
+
+    def __init__(self, record: ReplayRecord, args: Dict) -> None:
+        self.runtime = args["runtime"]
+        self.watchdog_cycles = args.get("watchdog_cycles")
+        self.start_tick = args.get("start_tick", 0)
+        self.max_wall_ms = args.get("max_wall_ms", 10_000_000)
+        self.skim = SkimRegister()
+        self.policy = _make_policy(
+            self.runtime, record, self.skim, self.watchdog_cycles
+        )
+        self.supply = PowerSupply(
+            args["trace"],
+            args["capacitor"],
+            args["energy_model"],
+            start_tick=self.start_tick,
+        )
+        self.ledger = ProgressLedger()
+        self.energies = trace_energy_array(args["trace"])
+        self.pending = 0
+        self.pending_kind = "restore"
+        self.stalled = 0
+        self.last_signature = None
+        self.idle = 0
+        self.state = _RUN
+        self.skim_cut = None
+        self.timed_out = False
+        self.volatile = self.policy.name != "nvp"
+        self.jit = getattr(self.policy, "on_low_voltage", None)
+        self.interval = self.policy.watchdog_cycles
+
+
+class BatchReplayExecutor:
+    """Advances N lanes over one record; see module docstring."""
+
+    def __init__(self, record: ReplayRecord, lanes: List[_Lane]) -> None:
+        self.record = record
+        self.index = record.batch or None
+        self.lanes = lanes
+
+    # -- master loop ---------------------------------------------------------
+
+    def run(self) -> None:
+        """Charge/restore/tick every live lane until all are resolved.
+
+        Rounds preserve each lane's own operation order exactly (lanes
+        never read each other's state; the only sharing is the record's
+        memoized WAR verdicts, which are order-independent integers)."""
+        active = [lane for lane in self.lanes if lane.state == _RUN]
+        while active:
+            ticking: List[_Lane] = []
+            for lane in active:
+                policy = lane.policy
+                supply = lane.supply
+                try:
+                    # Mirror of ReplayExecutor.run's loop head: the
+                    # while-condition halt check, then the timeout
+                    # check, then the charge + restore block.
+                    if policy.halted:
+                        lane.state = _FINISHED
+                        continue
+                    if supply.tick - lane.start_tick > lane.max_wall_ms:
+                        lane.timed_out = True
+                        lane.state = _FINISHED
+                        continue
+                    if not supply.on:
+                        if lane.energies is not None and len(lane.energies):
+                            charge_until_on_fast(supply, lane.energies)
+                        else:
+                            supply.charge_until_on()
+                        armed_before = lane.skim.armed
+                        lane.pending = policy.on_restore()
+                        lane.pending_kind = "restore"
+                        if armed_before and not lane.skim.armed:
+                            lane.skim_cut = (
+                                policy.resume_position,
+                                policy.skim_redirect,
+                                lane.pending,
+                            )
+                            lane.state = _FINISHED
+                            continue
+                        signature = policy.resume_position
+                        if signature == lane.last_signature:
+                            lane.stalled += 1
+                            if lane.stalled >= STALLED_RESTORE_LIMIT:
+                                raise ProgressStall(
+                                    _LIVELOCK_MESSAGE,
+                                    position=policy.resume_position,
+                                    tick=supply.tick, runtime=policy.name,
+                                )
+                        else:
+                            lane.stalled = 0
+                            lane.last_signature = signature
+                    ticking.append(lane)
+                except _DEMOTE:
+                    lane.state = _DEMOTED
+            if ticking:
+                self._tick(ticking)
+            active = [lane for lane in ticking if lane.state == _RUN]
+
+    # -- one ON millisecond, all lanes ---------------------------------------
+
+    def _tick(self, lanes: List[_Lane]) -> None:
+        """The body of one supply tick, lane-parallel per phase."""
+        # Phase 1: begin the tick, pay pending overhead, reserve the
+        # Hibernus snapshot allowance.
+        for lane in lanes:
+            budget = lane.supply.begin_tick()
+            used = 0
+            if lane.pending:
+                paid = min(lane.pending, budget)
+                lane.pending -= paid
+                used = paid
+                lane.ledger.overhead(lane.pending_kind, paid)
+            reserved = 0
+            if lane.jit is not None and lane.supply.tick_energy_limited:
+                reserved = min(lane.policy.snapshot_cycles, budget - used)
+                budget -= reserved
+            lane.budget = budget
+            lane.used = used
+            lane.reserved = reserved
+
+        # Phase 2: the executor's inner chunk loop, with the chunk
+        # advances themselves batched across lanes.
+        work = [
+            lane for lane in lanes
+            if lane.pending == 0 and not lane.policy.halted
+            and lane.used < lane.budget
+        ]
+        while work:
+            for lane in work:
+                chunk = lane.budget - lane.used
+                if lane.interval:
+                    chunk = min(chunk, lane.interval)
+                lane.chunk = chunk
+                lane.ckpt_before = lane.policy.stats.checkpoint_cycles
+            plain = [lane for lane in work if lane.interval is None]
+            clank = [lane for lane in work if lane.interval is not None]
+            if plain:
+                self._run_plain_chunks(plain)
+            if clank:
+                self._run_clank_chunks(clank)
+            nxt: List[_Lane] = []
+            for lane in work:
+                ran = lane.ran
+                ckpt_in_chunk = (
+                    lane.policy.stats.checkpoint_cycles - lane.ckpt_before
+                )
+                lane.used += ran
+                lane.ledger.execute(ran - ckpt_in_chunk)
+                if ckpt_in_chunk:
+                    lane.ledger.overhead("checkpoint", ckpt_in_chunk)
+                    lane.ledger.commit()
+                overhead = lane.policy.on_tick(ran)
+                if overhead:
+                    paid = min(overhead, lane.budget - lane.used)
+                    lane.used += paid
+                    lane.pending = overhead - paid
+                    lane.pending_kind = "checkpoint"
+                    lane.ledger.overhead("checkpoint", paid)
+                    lane.ledger.commit()
+                if ran == 0:
+                    continue
+                if (
+                    lane.pending == 0 and not lane.policy.halted
+                    and lane.used < lane.budget
+                ):
+                    nxt.append(lane)
+            work = nxt
+
+        # Phase 3: the Hibernus snapshot, energy draw, end-of-tick
+        # bookkeeping and outage handling. Forward-progress stalls
+        # demote their lane only.
+        for lane in lanes:
+            try:
+                if lane.reserved and not lane.policy.halted:
+                    snap = min(lane.jit(), lane.reserved)
+                    lane.used += snap
+                    if snap:
+                        lane.ledger.overhead("checkpoint", snap)
+                        lane.ledger.commit()
+                lane.supply.consume_cycles(lane.used)
+                if lane.supply.finish_tick():
+                    if lane.used == 0:
+                        lane.idle += 1
+                        if lane.idle >= IDLE_TICK_LIMIT:
+                            raise ProgressStall(
+                                f"forward-progress stall: {IDLE_TICK_LIMIT} "
+                                "consecutive powered ticks executed zero "
+                                "cycles; the stored energy cannot cover the "
+                                "next instruction. Enlarge the storage "
+                                "capacitor or weaken the workload.",
+                                position=lane.policy.cursor,
+                                tick=lane.supply.tick,
+                                runtime=lane.policy.name,
+                            )
+                    else:
+                        lane.idle = 0
+                else:
+                    lane.idle = 0
+                    lane.pending = 0
+                    if lane.volatile and not lane.policy.halted:
+                        lane.ledger.discard()
+                    else:
+                        lane.ledger.commit()
+                    lane.policy.on_outage()
+                    # A halted lane resolves at the next round's head,
+                    # exactly like the scalar loop's post-outage break.
+            except _DEMOTE:
+                lane.state = _DEMOTED
+
+    # -- chunk advancement ----------------------------------------------------
+
+    def _run_plain_chunks(self, lanes: List[_Lane]) -> None:
+        """Default ``ReplayPolicy.run_chunk`` for all lanes at once."""
+        record = self.record
+        requests = [
+            (lane.policy.cursor, record.length, lane.chunk) for lane in lanes
+        ]
+        for lane, (j, cost) in zip(
+            lanes, advance_lanes(record, self.index, requests)
+        ):
+            policy = lane.policy
+            cursor = policy.cursor
+            if j != cursor:
+                policy._cross(cursor, j)
+                policy.cursor = j
+                if j > policy.max_position:
+                    policy.max_position = j
+            lane.ran = cost
+
+    def _run_clank_chunks(self, lanes: List[_Lane]) -> None:
+        """``ClankReplayPolicy.run_chunk`` transcribed over lane groups.
+
+        Each round answers every lane's WAR horizon (memoized on the
+        record, one-shot via the batch index) and performs one batched
+        segment advance; lanes drop out of the round loop exactly where
+        the scalar loop would ``break``."""
+        record = self.record
+        index = self.index
+        cum = record.cum_cost
+        pcs = record.pcs
+        peek = record.peek_costs
+        n = record.length
+        for lane in lanes:
+            lane._cur = lane.policy.cursor
+            lane._consumed = 0
+        segment = list(lanes)
+        while segment:
+            keep: List[_Lane] = []
+            advancing: List[_Lane] = []
+            requests = []
+            for lane in segment:
+                cursor = lane._cur
+                remaining = lane.chunk - lane._consumed
+                if cursor >= n or remaining <= 0:
+                    continue  # the scalar while/remaining exits
+                limit = cursor + remaining + 1
+                if limit > n:
+                    limit = n
+                war = record.next_war_before(
+                    lane.policy.checkpoint_pos, limit
+                )
+                lane._war = war
+                lane._stop = war if war < limit else limit
+                lane._adv = None
+                keep.append(lane)
+                if cursor < lane._stop:
+                    advancing.append(lane)
+                    requests.append((cursor, lane._stop, remaining))
+            if requests:
+                for lane, result in zip(
+                    advancing, advance_lanes(record, index, requests)
+                ):
+                    lane._adv = result
+            segment = []
+            for lane in keep:
+                policy = lane.policy
+                if lane._adv is not None:
+                    j, cost = lane._adv
+                    lane._consumed += cost
+                    if j != lane._cur:
+                        policy._cross(lane._cur, j)
+                        lane._cur = j
+                    if j < lane._stop:
+                        continue  # budget exhausted inside the segment
+                if lane._cur >= n or lane._cur != lane._war:
+                    continue  # halted, or only the horizon stopped us
+                if lane._consumed + peek[pcs[lane._cur]] > lane.chunk:
+                    continue  # the WAR store itself no longer fits
+                lane._consumed += (
+                    cum[lane._cur + 1] - cum[lane._cur]
+                ) + policy.checkpoint_cycles
+                policy.stats.war_violations += 1
+                policy.stats.checkpoints += 1
+                policy.stats.checkpoint_cycles += policy.checkpoint_cycles
+                policy.checkpoint_pos = lane._cur
+                policy._war_in_chunk = True
+                lane._cur += 1
+                segment.append(lane)
+        for lane in lanes:
+            policy = lane.policy
+            policy.cursor = lane._cur
+            if lane._cur > policy.max_position:
+                policy.max_position = lane._cur
+            lane.ran = lane._consumed
+
+
+def run_batch_group(
+    kernel,
+    record: ReplayRecord,
+    inputs,
+    lane_args: List[Dict],
+) -> List[Optional[IntermittentRun]]:
+    """Run one configuration's samples as a lane batch.
+
+    ``lane_args`` is one dict per sample with keys ``trace``,
+    ``runtime``, ``capacitor``, ``energy_model``, ``start_tick``,
+    ``max_wall_ms`` and (for clank) ``watchdog_cycles``. Returns one
+    :class:`IntermittentRun` per sample in order, with ``None`` for
+    demoted lanes the caller must re-run on the per-sample path.
+    """
+    if not lane_args:
+        return []
+    if not record.replayable or TRACER.enabled:
+        # Event tracing hooks live in the scalar paths only; a batch
+        # walk would silently drop its emissions.
+        return [None] * len(lane_args)
+    if record.batch is None:
+        index = build_batch_index(record)
+        record.batch = index if index is not None else False
+    lanes = [_Lane(record, args) for args in lane_args]
+    BatchReplayExecutor(record, lanes).run()
+
+    results: List[Optional[IntermittentRun]] = []
+    for lane in lanes:
+        if lane.state == _DEMOTED:
+            results.append(None)
+            continue
+        try:
+            results.append(
+                finish_replay_run(
+                    kernel, record, inputs, lane.runtime,
+                    lane.watchdog_cycles, lane.supply, lane.policy,
+                    lane.skim, lane.ledger, lane.skim_cut,
+                    lane.timed_out, lane.start_tick, lane.max_wall_ms,
+                )
+            )
+        except ReplayDiverged:
+            results.append(None)
+    return results

@@ -298,8 +298,36 @@ def replay_intermittent(
     )
     executor = ReplayExecutor(record, supply, policy, skim)
     executor.run(max_wall_ms=max_wall_ms)
+    return finish_replay_run(
+        kernel, record, inputs, runtime, watchdog_cycles,
+        supply, policy, skim, executor.ledger, executor.skim_cut,
+        executor.timed_out, start_tick, max_wall_ms,
+    )
 
-    if executor.skim_cut is None:
+
+def finish_replay_run(
+    kernel,
+    record: ReplayRecord,
+    inputs,
+    runtime: str,
+    watchdog_cycles: Optional[int],
+    supply: PowerSupply,
+    policy: ReplayPolicy,
+    skim: SkimRegister,
+    ledger: ProgressLedger,
+    skim_cut: Optional[tuple],
+    timed_out: bool,
+    start_tick: int,
+    max_wall_ms: int,
+) -> IntermittentRun:
+    """Turn one finished replay walk into an :class:`IntermittentRun`.
+
+    Shared epilogue of :func:`replay_intermittent` and the batch
+    executor's per-lane finalization: output materialization, the skim
+    handoff to live interpretation, stats/ledger merging and result
+    assembly. Must run one lane at a time — ``materialize_cpu`` resets
+    the record's cached CPU in place."""
+    if skim_cut is None:
         completed = policy.halted
         if completed:
             outputs = {k: list(v) for k, v in record.final_outputs.items()}
@@ -307,18 +335,18 @@ def replay_intermittent(
             watermark = policy.max_position
             cpu = record.materialize_cpu(kernel, inputs, watermark, watermark)
             outputs = kernel.read_outputs(cpu)
-        executor.ledger.close()
+        ledger.close()
         result = RunResult(
             completed=completed,
             skim_taken=False,
-            timed_out=executor.timed_out,
+            timed_out=timed_out,
             wall_ms=supply.tick - start_tick,
             on_ms=supply.total_on_ms,
             off_ms=supply.total_off_ms,
             active_cycles=supply.total_cycles,
             outages=supply.outages,
             runtime_stats=policy.stats,
-            ledger=executor.ledger,
+            ledger=ledger,
         )
         return IntermittentRun(outputs=outputs, result=result)
 
@@ -326,7 +354,7 @@ def replay_intermittent(
     # rest live. Memory reflects the furthest position ever executed
     # (re-executed stores rewrite identical values); the registers are
     # the checkpoint's, and the PC jumps to the consumed skim target.
-    cut, target, pending = executor.skim_cut
+    cut, target, pending = skim_cut
     cpu = record.materialize_cpu(kernel, inputs, cut, policy.max_position)
     checkpoint = Checkpoint.from_cpu(cpu)
     cpu.pc = target
@@ -346,8 +374,8 @@ def replay_intermittent(
     _merge_stats(policy.stats, handoff.runtime_stats)
     # The sample's attribution is replay-side work plus the live suffix
     # (the live ledger already booked the carried restore cost).
-    executor.ledger.close()
-    executor.ledger.merge(handoff.ledger)
+    ledger.close()
+    ledger.merge(handoff.ledger)
     result = RunResult(
         completed=handoff.completed,
         skim_taken=True,
@@ -358,6 +386,6 @@ def replay_intermittent(
         active_cycles=supply.total_cycles,
         outages=supply.outages,
         runtime_stats=policy.stats,
-        ledger=executor.ledger,
+        ledger=ledger,
     )
     return IntermittentRun(outputs=kernel.read_outputs(cpu), result=result)

@@ -39,6 +39,8 @@ from array import array
 from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
+from .superblock import record_superblocks
+
 #: Instructions between architectural keyframes. Reconstructing the
 #: state at an arbitrary position (the skim handoff does this once per
 #: skimmed sample) costs at most this many live steps; each keyframe
@@ -81,9 +83,11 @@ class ReplayRecord:
         "final_outputs",
         "replayable",
         "reason",
+        "batch",
         "_war_memo",
         "_war_scans",
         "_mat_cache",
+        "_kf_images",
     )
 
     def __init__(self, keyframe_interval: int):
@@ -110,10 +114,15 @@ class ReplayRecord:
         self.final_outputs: Dict[str, List[int]] = {}
         self.replayable = True
         self.reason = ""
+        #: Optional vectorized index (repro.sim.batch_replay.BatchIndex)
+        #: attached by the batch backend; None (or the False sentinel
+        #: when numpy is unavailable) falls back to the scalar scans.
+        self.batch = None
         self._war_memo: Dict[int, int] = {}
         #: In-flight WAR scans: start -> [frontier, read_first, written].
         self._war_scans: Dict[int, list] = {}
         self._mat_cache: Optional[tuple] = None
+        self._kf_images: dict = {}
 
     # -- segment queries ----------------------------------------------------
 
@@ -167,6 +176,17 @@ class ReplayRecord:
         growing horizon amortized O(1) per stream position."""
         final = self._war_memo.get(start)
         if final is not None:
+            return final if final < limit else limit
+        batch = self.batch
+        if batch:
+            # The vectorized index answers the *unbounded* query in one
+            # shot; memoize the verdict so every later call (from any
+            # lane or the scalar path) takes the O(1) branch above. The
+            # verdicts are identical ints to what the incremental scan
+            # would eventually converge on.
+            final = batch.war_from(start)
+            self._war_memo[start] = final
+            self._war_scans.pop(start, None)
             return final if final < limit else limit
         if limit > self.length:
             limit = self.length
@@ -266,9 +286,6 @@ class ReplayRecord:
         cache = self._mat_cache
         if cache is not None and cache[0] is kernel and cache[1] is inputs:
             cpu = cache[2]
-            for region, image in zip(cpu.memory.regions, cache[3]):
-                if image is not None:
-                    region.data[:] = image
             cpu.load_hook = None
             cpu.store_hook = None
             cpu.skim_hook = None
@@ -279,9 +296,27 @@ class ReplayRecord:
                 for r in cpu.memory.regions
             )
             self._mat_cache = (kernel, inputs, cpu, images)
+            self._kf_images = {}
         index = bisect_right(self.keyframes, reg_pos, key=lambda kf: kf[0]) - 1
         kf_pos, kf_regs, kf_flags, kf_pc = self.keyframes[index]
-        self.apply_stores(cpu.memory, 0, kf_pos)
+        # Memory at a keyframe is a pure function of the keyframe, so
+        # the store-log prefix [0, kf_pos) replays once per keyframe and
+        # later materializations restore the snapshot bytes directly —
+        # the batched engine materializes many lanes per record.
+        snap = self._kf_images.get(index)
+        if snap is None:
+            for region, image in zip(cpu.memory.regions, self._mat_cache[3]):
+                if image is not None:
+                    region.data[:] = image
+            self.apply_stores(cpu.memory, 0, kf_pos)
+            self._kf_images[index] = tuple(
+                bytes(r.data) if r.device is None else None
+                for r in cpu.memory.regions
+            )
+        else:
+            for region, image in zip(cpu.memory.regions, snap):
+                if image is not None:
+                    region.data[:] = image
         cpu.regs.restore(list(kf_regs))
         cpu.flags.restore(kf_flags)
         cpu.pc = kf_pc
@@ -359,6 +394,12 @@ def record_run(
     cpu.store_hook = store_hook
     cpu.skim_hook = skim_hook
 
+    # Superinstruction fast path: fused runs of loads / single-cycle ALU
+    # execute in one call and their log rows are appended in bulk from
+    # the span's pre-computed costs (actual == worst-case for every
+    # member, so the per-instruction cost-deviation check is vacuous).
+    rec_blocks = record_superblocks(cpu)
+
     handlers = cpu._handlers
     memory = cpu.memory
     regs = cpu.regs.regs
@@ -381,8 +422,56 @@ def record_run(
                 record.reason = "instruction limit exceeded while recording"
                 return record
             pc = cpu.pc
-            if pos % keyframe_interval == 0:
+            at_interval = pos % keyframe_interval
+            if at_interval == 0:
                 keyframes.append((pos, tuple(regs), flags.snapshot(), pc))
+            if rec_blocks is not None:
+                blk = rec_blocks[pc]
+                if (
+                    blk is not None
+                    and at_interval + blk[1] <= keyframe_interval
+                    and pos + blk[1] <= max_instructions
+                ):
+                    _, blen, cost_prefix, load_flags, block_total = blk
+                    blk[0]()
+                    pcs.extend(range(pc, pc + blen))
+                    for c in cost_prefix:
+                        cum.append(total + c)
+                    total += block_total
+                    if pending:
+                        it = 0
+                        for is_load in load_flags:
+                            if is_load:
+                                addr = pending[it + 1]
+                                size = pending[it + 2]
+                                it += 3
+                                kinds.append(_LOAD)
+                                addrs.append(addr)
+                                sizes.append(size)
+                                ok = False
+                                for base, span_end in safe_spans:
+                                    if base <= addr and addr + size <= span_end:
+                                        ok = True
+                                        break
+                                if not ok:
+                                    record.replayable = False
+                                    record.reason = (
+                                        f"access at {addr:#010x} leaves "
+                                        "non-volatile RAM"
+                                    )
+                                    return record
+                            else:
+                                kinds.append(0)
+                                addrs.append(0)
+                                sizes.append(0)
+                        del pending[:]
+                    else:
+                        for _ in range(blen):
+                            kinds.append(0)
+                            addrs.append(0)
+                            sizes.append(0)
+                    pos += blen
+                    continue
             cost = handlers[pc]()
             # The replay fast-forward (``advance``) relies on worst-case
             # and actual costs differing by at most one cycle; anything

@@ -1,0 +1,195 @@
+"""Superinstruction fusion for the pre-decoded interpreter.
+
+The fast interpreter (:mod:`repro.sim.cpu`) pays one indirect call plus
+one loop iteration of dispatch bookkeeping per retired instruction.
+For straight-line code — the bulk of every compiled kernel — that
+dispatch is pure overhead: the decoded handlers already know their
+successor (each stores a bound ``nxt`` into ``cpu.pc`` and never reads
+``pc``), so a run of consecutive handlers can be *fused* into a single
+Python call that executes all of them back to back.
+
+Two span kinds are derived once per :class:`~repro.isa.program.Program`
+(cached on the program, keyed on ``program.instructions`` identity, the
+same pattern as :func:`repro.sim.decode.decode_program`):
+
+* **Dispatch spans** — a maximal run of non-control-flow instructions
+  starting at ``pc``, optionally closed by one terminal branch/``HALT``.
+  Sound because every non-terminal member is straight-line: it writes
+  its bound successor index into ``cpu.pc`` and the next member *is*
+  that successor. Hooks still fire (the fused call runs the real
+  handlers), exceptions propagate mid-block exactly as they would
+  mid-loop, and the cycle total is the sum of the members' returns.
+  A suffix span exists at every pc so a block is available wherever the
+  interpreter happens to land (branch targets, resume points).
+
+* **Record spans** — the subset usable by the commit-log recorder's
+  bulk fast path (:func:`repro.sim.replay.record_run`): loads,
+  single-cycle ALU/vector ops and ``NOP`` only. Stores are excluded
+  (the recorder reads each stored value back immediately after the
+  store), ``SKM`` is excluded (the recorder's skim hook captures the
+  current log position, which is stale mid-block), and variable-cost
+  instructions are excluded so ``actual == worst-case`` holds for every
+  member and the recorder can append pre-computed costs without the
+  per-instruction deviation check.
+
+``REPRO_SUPERBLOCK=0`` disables fusion (read at CPU construction /
+record start); the differential suite runs the grid both ways.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Tuple
+
+#: blocks[pc] = (fused_fn, n_instructions, worst_case_cycles) or None
+DispatchBlock = Tuple[Callable[[], int], int, int]
+#: blocks[pc] = (fused_fn, n_instructions, cum_cost_prefix, is_load_flags,
+#:               total_cycles) or None
+RecordBlock = Tuple[
+    Callable[[], int], int, Tuple[int, ...], Tuple[bool, ...], int
+]
+
+#: Fuse only runs of at least this many instructions; shorter runs gain
+#: nothing over plain dispatch. Record spans need one more member to
+#: amortize their bulk bookkeeping.
+MIN_DISPATCH_SPAN = 2
+MIN_RECORD_SPAN = 3
+
+
+def superblock_enabled() -> bool:
+    """Whether fusion is enabled (``REPRO_SUPERBLOCK`` != "0")."""
+    return os.environ.get("REPRO_SUPERBLOCK", "1") != "0"
+
+
+class SpanTable:
+    """Per-program span lengths, shared by every CPU on the program."""
+
+    __slots__ = ("instructions", "dispatch", "record", "any_dispatch",
+                 "any_record")
+
+    def __init__(self, program, metas) -> None:
+        self.instructions = program.instructions
+        n = len(metas)
+
+        # Control flow ends a dispatch span: branches (B/BL/BX and the
+        # conditional mnemonics — RetireMeta.is_branch) and HALT, which
+        # sets the halt latch the run loops test between instructions.
+        cf = [m.is_branch or m.op == "HALT" for m in metas]
+        dispatch: List[int] = [0] * n
+        straight = 0  # non-CF run length starting at pc + 1
+        for pc in range(n - 1, -1, -1):
+            straight = 0 if cf[pc] else straight + 1
+            end = pc + straight
+            length = straight + (1 if end < n and cf[end] else 0)
+            dispatch[pc] = length if length >= MIN_DISPATCH_SPAN else 0
+        self.dispatch = dispatch
+        self.any_dispatch = any(dispatch)
+
+        # Record spans: fixed-cost, non-store, non-SKM straight-line
+        # instructions (loads, single-cycle ALU, ASV, NOP). meta.cost is
+        # 0 exactly for the variable-cost classes (MUL*, conditional
+        # branches), so cost > 0 plus the explicit exclusions pins every
+        # member to actual == worst-case == meta.cost.
+        rec: List[Optional[Tuple[int, Tuple[int, ...], Tuple[bool, ...],
+                                 int]]] = [None] * n
+        run = 0
+        for pc in range(n - 1, -1, -1):
+            m = metas[pc]
+            ok = (
+                m.cost > 0
+                and not m.is_branch
+                and not m.is_store
+                and m.op != "SKM"
+                and m.op != "HALT"
+            )
+            run = run + 1 if ok else 0
+            if run >= MIN_RECORD_SPAN:
+                cum: List[int] = []
+                total = 0
+                for j in range(run):
+                    total += metas[pc + j].cost
+                    cum.append(total)
+                rec[pc] = (
+                    run,
+                    tuple(cum),
+                    tuple(metas[pc + j].is_load for j in range(run)),
+                    total,
+                )
+        self.record = rec
+        self.any_record = any(s is not None for s in rec)
+
+
+def span_table(program, metas) -> SpanTable:
+    """The (cached) span table for ``program``."""
+    cache = getattr(program, "_superblock_cache", None)
+    if cache is None or cache.instructions is not program.instructions:
+        cache = SpanTable(program, metas)
+        program._superblock_cache = cache
+    return cache
+
+
+def _fuse(members: Tuple[Callable[[], int], ...]) -> Callable[[], int]:
+    """One call that executes ``members`` in order, returning total cycles."""
+    m = len(members)
+    if m == 2:
+        h0, h1 = members
+
+        def fused():
+            return h0() + h1()
+    elif m == 3:
+        h0, h1, h2 = members
+
+        def fused():
+            return h0() + h1() + h2()
+    elif m == 4:
+        h0, h1, h2, h3 = members
+
+        def fused():
+            return h0() + h1() + h2() + h3()
+    else:
+
+        def fused():
+            total = 0
+            for h in members:
+                total += h()
+            return total
+    return fused
+
+
+def build_superblocks(cpu) -> Optional[List[Optional[DispatchBlock]]]:
+    """Dispatch-fusion table for one CPU, or None when fusion is off."""
+    if not superblock_enabled():
+        return None
+    table = span_table(cpu.program, cpu._metas)
+    if not table.any_dispatch:
+        return None
+    handlers = cpu._handlers
+    peek = cpu._peek_costs
+    blocks: List[Optional[DispatchBlock]] = []
+    for pc, length in enumerate(table.dispatch):
+        if length:
+            members = tuple(handlers[pc:pc + length])
+            blocks.append((_fuse(members), length,
+                           sum(peek[pc:pc + length])))
+        else:
+            blocks.append(None)
+    return blocks
+
+
+def record_superblocks(cpu) -> Optional[List[Optional[RecordBlock]]]:
+    """Record-fusion table for the recorder's CPU, or None when off."""
+    if not superblock_enabled():
+        return None
+    table = span_table(cpu.program, cpu._metas)
+    if not table.any_record:
+        return None
+    handlers = cpu._handlers
+    blocks: List[Optional[RecordBlock]] = []
+    for pc, span in enumerate(table.record):
+        if span is None:
+            blocks.append(None)
+        else:
+            blen, prefix, load_flags, total = span
+            members = tuple(handlers[pc:pc + blen])
+            blocks.append((_fuse(members), blen, prefix, load_flags, total))
+    return blocks

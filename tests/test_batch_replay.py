@@ -1,0 +1,314 @@
+"""The lane-parallel batched replay backend must be bit-exact.
+
+``REPRO_BATCH=1`` walks each configuration's commit log once for all
+its (trace, invocation) samples. Everything observable must match the
+per-sample engines: SampleRun fields vs the interpreter (the repo's
+differential bar), metrics and ledger buckets *exactly* vs the replay
+engine (which shares its overhead classification), byte-identical
+results between serial and ``REPRO_JOBS`` runs, and identical output
+with and without numpy. The vector kernels (WAR oracle, lane advance,
+charge fast-forward) are additionally checked one-to-one against the
+scalar code they replace.
+"""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentSetup,
+    _worker_records,
+    build_anytime,
+    calibrate_environment,
+    measure_precise_cycles,
+    run_benchmark,
+    run_benchmark_suite,
+)
+from repro.power.capacitor import Capacitor
+from repro.power.energy import EnergyModel
+from repro.power.supply import PowerSupply, SupplyExhausted
+from repro.power.trace import PowerTrace
+from repro.sim.batch_replay import (
+    advance_lanes,
+    build_batch_index,
+    charge_until_on_fast,
+    numpy_or_none,
+    trace_energy_array,
+)
+from repro.sim.replay import record_run
+from repro.workloads import make_workload
+
+needs_numpy = pytest.mark.skipif(
+    numpy_or_none() is None, reason="numpy not available"
+)
+
+
+def _setup():
+    return ExperimentSetup(scale="tiny")
+
+
+def _environment(workload, setup):
+    return calibrate_environment(measure_precise_cycles(workload), setup)
+
+
+def _serial_env(monkeypatch):
+    for key in ("REPRO_JOBS", "REPRO_REPLAY", "REPRO_BATCH",
+                "REPRO_BATCH_NUMPY"):
+        monkeypatch.delenv(key, raising=False)
+
+
+def _grid_runs(workload, configs, runtime, setup, environment, reference):
+    results = run_benchmark_suite(
+        workload, configs, runtime, setup, environment, reference
+    )
+    return [run for result in results for run in result.runs]
+
+
+def _rollups(runs):
+    """(counters-sans-engine, observations, ledger) per sample — the
+    strict comparison the replay and batch engines must share."""
+    out = []
+    for run in runs:
+        counters = {
+            k: v
+            for k, v in (run.metrics or {}).get("counters", {}).items()
+            if not k.startswith("engine.")
+        }
+        out.append(
+            (counters, (run.metrics or {}).get("observations"), run.ledger)
+        )
+    return out
+
+
+class TestGridDifferential:
+    def test_fig10_grid_batch_identical(self, monkeypatch):
+        """Full Figure-10 MatMul grid: batch == interpreter, and every
+        sample actually ran on the batch engine (no silent demotion)."""
+        _serial_env(monkeypatch)
+        setup = _setup()
+        workload = make_workload("MatMul", setup.scale)
+        environment = _environment(workload, setup)
+        reference = workload.decoded_reference()
+        configs = [
+            ("precise", None), (workload.technique, 8), (workload.technique, 4)
+        ]
+
+        interp = _grid_runs(workload, configs, "clank", setup, environment, reference)
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        _worker_records.clear()
+        batch = _grid_runs(workload, configs, "clank", setup, environment, reference)
+
+        assert len(interp) == 3 * setup.trace_count * setup.invocations
+        assert batch == interp  # SampleRun dataclass: field-by-field equality
+        batched = sum(
+            (run.metrics or {}).get("counters", {}).get("engine.batch", 0)
+            for run in batch
+        )
+        assert batched == len(batch), "some samples demoted off the batch path"
+
+    @pytest.mark.parametrize("workload_name", ["MatMul", "Var"])
+    @pytest.mark.parametrize("runtime", ["clank", "nvp", "hibernus"])
+    def test_runtime_grid_batch_identical(
+        self, monkeypatch, workload_name, runtime
+    ):
+        """Every runtime policy batches exactly, on two workloads."""
+        _serial_env(monkeypatch)
+        setup = _setup()
+        workload = make_workload(workload_name, setup.scale)
+        environment = _environment(workload, setup)
+        reference = workload.decoded_reference()
+
+        interp = run_benchmark(
+            workload, workload.technique, 8, runtime, setup, environment, reference
+        )
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        _worker_records.clear()
+        batch = run_benchmark(
+            workload, workload.technique, 8, runtime, setup, environment, reference
+        )
+
+        assert batch.runs == interp.runs
+
+    def test_batch_matches_replay_rollups_exactly(self, monkeypatch):
+        """Metrics and ledger buckets — excluded from SampleRun equality
+        — must match the replay engine to the last integer and float:
+        both engines classify useful/reexec/overhead identically."""
+        _serial_env(monkeypatch)
+        setup = _setup()
+        workload = make_workload("MatMul", setup.scale)
+        environment = _environment(workload, setup)
+        reference = workload.decoded_reference()
+        configs = [
+            ("precise", None), (workload.technique, 8), (workload.technique, 4)
+        ]
+
+        monkeypatch.setenv("REPRO_REPLAY", "1")
+        _worker_records.clear()
+        replay = _grid_runs(workload, configs, "clank", setup, environment, reference)
+        monkeypatch.delenv("REPRO_REPLAY")
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        _worker_records.clear()
+        batch = _grid_runs(workload, configs, "clank", setup, environment, reference)
+
+        assert batch == replay
+        assert _rollups(batch) == _rollups(replay)
+
+    def test_batch_numpy_fallback_identical(self, monkeypatch):
+        """REPRO_BATCH_NUMPY=0 (the no-numpy code path) changes nothing
+        observable, rollups included."""
+        _serial_env(monkeypatch)
+        setup = _setup()
+        workload = make_workload("MatMul", setup.scale)
+        environment = _environment(workload, setup)
+        reference = workload.decoded_reference()
+        configs = [(workload.technique, 8), (workload.technique, 4)]
+
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        _worker_records.clear()
+        vectored = _grid_runs(workload, configs, "clank", setup, environment, reference)
+        monkeypatch.setenv("REPRO_BATCH_NUMPY", "0")
+        _worker_records.clear()
+        scalar = _grid_runs(workload, configs, "clank", setup, environment, reference)
+
+        assert scalar == vectored
+        assert _rollups(scalar) == _rollups(vectored)
+
+    def test_batch_serial_equals_parallel_jobs(self, monkeypatch):
+        """REPRO_JOBS shards by config under the batch engine; results
+        must be byte-identical to the serial run, rollups included."""
+        _serial_env(monkeypatch)
+        setup = _setup()
+        workload = make_workload("MatMul", setup.scale)
+        environment = _environment(workload, setup)
+        reference = workload.decoded_reference()
+        configs = [
+            ("precise", None), (workload.technique, 8), (workload.technique, 4)
+        ]
+
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        _worker_records.clear()
+        serial = _grid_runs(workload, configs, "clank", setup, environment, reference)
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        _worker_records.clear()
+        parallel = _grid_runs(workload, configs, "clank", setup, environment, reference)
+
+        assert parallel == serial
+        assert _rollups(parallel) == _rollups(serial)
+
+    def test_nonreplayable_record_demotes_every_lane(self, monkeypatch):
+        """Memoization makes cycle costs history-dependent, so its
+        record is non-replayable; run_batch_group must hand every lane
+        back to the caller instead of walking the log."""
+        from repro.runtime.batch_executor import run_batch_group
+        from repro.experiments.common import paper_traces
+
+        _serial_env(monkeypatch)
+        workload = make_workload("MatMul", "tiny")
+        kernel = build_anytime(
+            workload, workload.technique, 8, memoization=True,
+            zero_skipping=True,
+        )
+        record = record_run(kernel, workload.inputs)
+        assert not record.replayable
+        lane_args = [
+            {
+                "trace": trace,
+                "runtime": "clank",
+                "capacitor": Capacitor(),
+                "energy_model": EnergyModel(),
+                "start_tick": 0,
+                "max_wall_ms": 10_000,
+                "watchdog_cycles": 500,
+            }
+            for trace in paper_traces(count=3, duration_ms=200, base_seed=7)
+        ]
+        results = run_batch_group(kernel, record, workload.inputs, lane_args)
+        assert results == [None] * len(lane_args)
+        assert run_batch_group(kernel, record, workload.inputs, []) == []
+
+
+class TestVectorKernels:
+    @needs_numpy
+    def test_war_oracle_matches_scalar_scan(self):
+        workload = make_workload("MatMul", "tiny")
+        kernel = build_anytime(workload, workload.technique, 8)
+        record = record_run(kernel, workload.inputs)
+        assert record.replayable
+        index = build_batch_index(record)
+        scalar = record_run(kernel, workload.inputs)  # memo-free twin
+        starts = sorted(
+            set(range(0, record.length + 1, 37))
+            | set(scalar.store_pos[:50])
+        )
+        for start in starts:
+            assert index.war_from(start) == scalar.next_war_before(
+                start, scalar.length
+            ), f"WAR divergence at start={start}"
+
+    @needs_numpy
+    def test_advance_lanes_matches_scalar_advance(self):
+        import random
+
+        workload = make_workload("MatMul", "tiny")
+        kernel = build_anytime(workload, workload.technique, 8)
+        record = record_run(kernel, workload.inputs)
+        index = build_batch_index(record)
+        rng = random.Random(13)
+        requests = []
+        for _ in range(200):
+            cursor = rng.randrange(0, record.length)
+            stop = rng.randrange(cursor, record.length + 1)
+            budget = rng.randrange(0, 400)
+            requests.append((cursor, stop, budget))
+        batched = advance_lanes(record, index, requests)
+        for req, got in zip(requests, batched):
+            assert got == record.advance(*req), req
+
+    @needs_numpy
+    def test_charge_fast_forward_matches_scalar(self):
+        from repro.experiments.common import paper_traces
+
+        for trace in paper_traces(count=4, duration_ms=200, base_seed=11):
+            energies = trace_energy_array(trace)
+            for start_tick in (0, 57, 313):
+                fast = PowerSupply(
+                    trace, Capacitor(), EnergyModel(), start_tick=start_tick
+                )
+                slow = PowerSupply(
+                    trace, Capacitor(), EnergyModel(), start_tick=start_tick
+                )
+                for _ in range(3):
+                    fast.capacitor.energy *= 0.01
+                    slow.capacitor.energy *= 0.01
+                    waited_fast = charge_until_on_fast(fast, energies)
+                    waited_slow = slow.charge_until_on()
+                    assert waited_fast == waited_slow
+                    assert fast.tick == slow.tick
+                    assert fast.total_off_ms == slow.total_off_ms
+                    assert fast.capacitor.energy == slow.capacitor.energy
+                    fast.on = slow.on = False
+
+    @needs_numpy
+    def test_charge_fast_forward_dead_trace_raises(self):
+        trace = PowerTrace([0.0] * 64, name="dead")
+        energies = trace_energy_array(trace)
+        supply = PowerSupply(
+            trace, Capacitor(v_initial=1.0), EnergyModel()
+        )
+        with pytest.raises(SupplyExhausted):
+            charge_until_on_fast(supply, energies, max_ms=500)
+        # Same boundary as the scalar loop, including for a budget
+        # shorter than the scalar head.
+        supply = PowerSupply(trace, Capacitor(v_initial=1.0), EnergyModel())
+        with pytest.raises(SupplyExhausted):
+            charge_until_on_fast(supply, energies, max_ms=3)
+
+
+class TestChaosSmoke:
+    def test_hundred_scenarios_zero_violations_with_batch(self, monkeypatch):
+        """The chaos campaign's consistency oracle stays silent with the
+        batch flag set (covering the fused run_cycles live path the
+        campaign's executors take)."""
+        from repro.fault.campaign import run_campaign
+
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        report = run_campaign(seed=1234, count=100)
+        assert report["violation_count"] == 0, report["violations"][:3]
