@@ -9,7 +9,10 @@ Subcommands::
     python -m repro trace summarize t.jsonl   # report on a REPRO_TRACE file
     python -m repro profile MatMul       # hot-region table + folded stacks
     python -m repro report --html ...    # render the run dashboard
+    python -m repro report --live        # dashboard from the REPRO_STORE cache
     python -m repro chaos --seed 7       # seeded fault-injection campaign
+    python -m repro serve --store .cache # content-addressed experiment service
+    python -m repro submit MatMul --mode swp --bits 8   # job -> anytime stream
 
 ``run`` also writes a provenance manifest when ``--manifest <path>`` is
 passed or ``REPRO_MANIFEST=<path>`` is set (see docs/OBSERVABILITY.md);
@@ -146,12 +149,20 @@ def cmd_profile(args) -> int:
 
 def cmd_report(args) -> int:
     """Render the run dashboard from whatever artifacts were passed."""
+    import os
+
     from .observability.dashboard import (
         load_report_data, render_html_report, render_report,
     )
 
     from . import benchmarking
 
+    store = args.store
+    if store is None and args.live:
+        store = os.environ.get("REPRO_STORE", "").strip() or None
+        if store is None:
+            print("--live needs --store <dir> or REPRO_STORE set", file=sys.stderr)
+            return 2
     history = args.history or str(benchmarking.DEFAULT_HISTORY)
     try:
         data = load_report_data(
@@ -160,6 +171,7 @@ def cmd_report(args) -> int:
             ledger=args.ledger,
             trace=args.trace,
             history=history,
+            store=store,
         )
     except (OSError, ValueError) as exc:
         print(f"cannot load report inputs: {exc}", file=sys.stderr)
@@ -228,6 +240,122 @@ def cmd_chaos(args) -> int:
                 )
                 ok = False
     return 0 if ok else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the asyncio experiment service until shutdown/SIGINT.
+
+    The store directory comes from ``--store`` or ``REPRO_STORE``;
+    without either the service still runs but caches nothing (every
+    submission computes). See docs/SERVICE.md."""
+    import asyncio
+    import os
+
+    from .service.protocol import default_socket_path
+    from .service.server import ExperimentService
+
+    store_dir = args.store or os.environ.get("REPRO_STORE", "").strip() or None
+    socket_path = None if args.port is not None else (
+        args.socket or default_socket_path()
+    )
+    service = ExperimentService(store_dir=store_dir, max_workers=args.workers)
+
+    def announce(endpoint: str) -> None:
+        print(
+            f"repro service listening on {endpoint}; "
+            f"store {store_dir or 'disabled'}",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            service.serve(
+                socket_path=socket_path, host=args.host, port=args.port,
+                on_ready=announce,
+            )
+        )
+    except KeyboardInterrupt:
+        print("repro service stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit one job to a running service and stream its results."""
+    import json
+
+    from .service.client import ServiceClient, ServiceError
+    from .service.protocol import default_socket_path
+    from .workloads import BENCHMARKS, make_workload
+
+    if args.benchmark not in BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}; choose from {BENCHMARKS}",
+              file=sys.stderr)
+        return 2
+    mode = args.mode
+    if mode is None:
+        mode = make_workload(args.benchmark, "tiny").technique
+    job = {
+        "workload": args.benchmark,
+        "mode": mode,
+        "bits": None if mode == "precise" else args.bits,
+        "runtime": args.runtime,
+        "scale": args.scale,
+        "trace_count": args.traces,
+        "invocations": args.invocations,
+    }
+
+    def narrate(event: dict) -> None:
+        kind = event.get("event")
+        if kind == "ack":
+            state = ("cache hit" if event.get("cached")
+                     else "deduped (already computing)" if event.get("deduped")
+                     else "computing")
+            print(f"submitted {event.get('fingerprint', '')[:12]}: {state}")
+        elif kind == "progressive":
+            sample = event.get("sample", {})
+            skim = "skim taken" if sample.get("skim_taken") else "no skim"
+            print(
+                f"  {event.get('stage')}: first answer after "
+                f"{event.get('samples_done')}/{event.get('samples_total')} "
+                f"samples — error {sample.get('error', 0.0):.2f}% ({skim}), "
+                f"{sample.get('wall_ms')} ms wall"
+            )
+
+    try:
+        with ServiceClient.connect(
+            socket_path=None if args.port is not None else (
+                args.socket or default_socket_path()
+            ),
+            host=args.host,
+            port=args.port,
+            timeout=args.timeout,
+        ) as client:
+            result = client.submit(
+                job, full=args.full,
+                on_event=None if args.json else narrate,
+            )
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach the service: {exc} "
+              "(is 'python -m repro serve' running?)", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result))
+        return 0
+    config = result.get("config") or {}
+    summary = config.get("summary") or {}
+    bits = config.get("bits")
+    print(
+        f"result [{result.get('source')}] {config.get('workload')}/"
+        f"{config.get('mode')}{'' if bits is None else bits}/"
+        f"{config.get('runtime')}: {config.get('samples')} samples, "
+        f"median wall {summary.get('median_wall_ms')} ms, "
+        f"median NRMSE {summary.get('median_error', 0.0):.2f}%, "
+        f"skim rate {summary.get('skim_rate', 0.0):.2f}"
+    )
+    return 0
 
 
 def cmd_bench(args) -> int:
@@ -416,6 +544,12 @@ def main(argv: Optional[list] = None) -> int:
     report_parser.add_argument("--history", default=None,
                                help="bench history jsonl (default: the "
                                     "committed benchmarks/results/history.jsonl)")
+    report_parser.add_argument("--store", default=None,
+                               help="content-addressed result store directory "
+                                    "(REPRO_STORE); adds a store section")
+    report_parser.add_argument("--live", action="store_true",
+                               help="render from the result store (falls back "
+                                    "to REPRO_STORE when --store is omitted)")
     report_parser.add_argument("--html", action="store_true",
                                help="render a self-contained HTML page "
                                     "instead of text")
@@ -423,6 +557,62 @@ def main(argv: Optional[list] = None) -> int:
     report_parser.add_argument("--output", default=None,
                                help="write to this path instead of stdout")
     report_parser.set_defaults(func=cmd_report)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="start the async experiment service (unix socket by default; "
+             "--port for localhost TCP); submissions are fingerprinted, "
+             "deduped, cached in REPRO_STORE and streamed back anytime-first",
+    )
+    serve_parser.add_argument("--socket", default=None,
+                              help="unix socket path (default: "
+                                   "$TMPDIR/repro-service.sock)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="TCP bind host (with --port)")
+    serve_parser.add_argument("--port", type=int, default=None,
+                              help="serve TCP on this port instead of the "
+                                   "unix socket (0 picks a free port)")
+    serve_parser.add_argument("--store", default=None,
+                              help="result store directory (default: "
+                                   "REPRO_STORE; unset disables caching)")
+    serve_parser.add_argument("--workers", type=int, default=None,
+                              help="compute thread pool size "
+                                   "(default: min(8, cpus))")
+    serve_parser.set_defaults(func=cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="submit one configuration to a running service and stream "
+             "its anytime + final results",
+    )
+    submit_parser.add_argument("benchmark")
+    submit_parser.add_argument("--mode", default=None,
+                               choices=("precise", "swp", "swv"),
+                               help="execution mode (default: the workload's "
+                                    "native approximation technique)")
+    submit_parser.add_argument("--bits", type=int, default=8,
+                               choices=(1, 2, 3, 4, 8),
+                               help="approximation bit width (non-precise)")
+    submit_parser.add_argument("--runtime", default="clank",
+                               choices=("clank", "nvp", "hibernus"))
+    submit_parser.add_argument("--scale", default="default",
+                               choices=("tiny", "default", "paper"))
+    submit_parser.add_argument("--traces", type=int, default=9)
+    submit_parser.add_argument("--invocations", type=int, default=3)
+    submit_parser.add_argument("--socket", default=None,
+                               help="unix socket path of the server")
+    submit_parser.add_argument("--host", default="127.0.0.1")
+    submit_parser.add_argument("--port", type=int, default=None,
+                               help="connect over TCP instead of the unix "
+                                    "socket")
+    submit_parser.add_argument("--timeout", type=float, default=30.0,
+                               help="connect timeout in seconds (retries "
+                                    "until then)")
+    submit_parser.add_argument("--json", action="store_true",
+                               help="print the raw result event as JSON")
+    submit_parser.add_argument("--full", action="store_true",
+                               help="include per-sample runs in the result")
+    submit_parser.set_defaults(func=cmd_submit)
 
     chaos_parser = subparsers.add_parser(
         "chaos",

@@ -161,6 +161,7 @@ def grid_history_record(payload: dict) -> dict:
         "machine_ops_per_s": payload["machine_ops_per_s"],
         "normalized_replay": grid["normalized_replay"],
         "normalized_batch": grid["normalized_batch"],
+        "store_speedup": grid.get("store_speedup"),
         "identical": grid["identical"],
     }
 
@@ -324,18 +325,26 @@ def _grid_sample_tuples(results) -> List[tuple]:
 
 
 def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
-    """Time the Figure-10 grid: interpreter vs replay vs batch engines.
+    """Time the Figure-10 grid: interpreter vs replay vs batch engines,
+    then the content-addressed store cold vs warm.
 
     All passes run the identical serial grid (``REPRO_JOBS``,
-    ``REPRO_REPLAY`` and ``REPRO_BATCH`` are controlled here, overriding
-    the environment). Recording is timed as its own phase: ``record_s``
-    is a cold rebuild of every config's commit log, while the replay and
-    batch passes then run against *warm* records — so the three
-    per-engine rates compare like for like (one record pass serves the
-    whole grid regardless of engine). Sample results from all passes
+    ``REPRO_REPLAY``, ``REPRO_BATCH`` and ``REPRO_STORE`` are controlled
+    here, overriding the environment). Recording is timed as its own
+    phase: ``record_s`` is a cold rebuild of every config's commit log,
+    while the replay and batch passes then run against *warm* records —
+    one record pass serves the whole grid regardless of engine, and the
+    engine passes never re-record (regression-tested in
+    ``tests/test_store.py``). The store phases both use the batch
+    engine: ``store_cold_s`` computes the grid into an empty store
+    (wiped every rep), ``store_warm_s`` reruns it as pure cache hits;
+    their ratio is ``store_speedup``. Sample results from every pass
     are compared field by field; ``identical`` reports the outcome
-    across all three engines.
+    across all engines *and* the store's cold/warm answers.
     """
+    import shutil
+    import tempfile
+
     from .experiments.common import (
         ExperimentSetup,
         _worker_kernels,
@@ -346,6 +355,7 @@ def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
         run_benchmark_suite,
     )
     from .sim.replay import record_run
+    from .store.cas import STORE_ENV
 
     score = machine_score()
     setup = ExperimentSetup(scale=scale)
@@ -372,7 +382,7 @@ def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
 
     saved = {
         key: os.environ.pop(key, None)
-        for key in ("REPRO_REPLAY", "REPRO_JOBS", "REPRO_BATCH")
+        for key in ("REPRO_REPLAY", "REPRO_JOBS", "REPRO_BATCH", STORE_ENV)
     }
     try:
         one_pass()  # warm the shared workload/kernel/trace caches
@@ -403,6 +413,26 @@ def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
             start = time.perf_counter()
             batch_results = one_pass()
             batch_times.append(time.perf_counter() - start)
+
+        # Store phases, both on the batch engine (still REPRO_BATCH=1):
+        # cold evaluates the grid into an empty store, warm serves it
+        # back as pure hits. The last cold rep leaves the store full.
+        store_dir = tempfile.mkdtemp(prefix="repro-grid-store-")
+        os.environ[STORE_ENV] = store_dir
+        try:
+            store_cold_times: List[float] = []
+            for _ in range(reps):
+                shutil.rmtree(store_dir, ignore_errors=True)
+                start = time.perf_counter()
+                store_cold_results = one_pass()
+                store_cold_times.append(time.perf_counter() - start)
+            store_warm_times: List[float] = []
+            for _ in range(reps):
+                start = time.perf_counter()
+                store_warm_results = one_pass()
+                store_warm_times.append(time.perf_counter() - start)
+        finally:
+            shutil.rmtree(store_dir, ignore_errors=True)
     finally:
         for key, value in saved.items():
             if value is None:
@@ -414,13 +444,17 @@ def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
     identical = (
         interp_tuples == _grid_sample_tuples(replay_results)
         and interp_tuples == _grid_sample_tuples(batch_results)
+        and interp_tuples == _grid_sample_tuples(store_cold_results)
+        and interp_tuples == _grid_sample_tuples(store_warm_results)
     )
     interp_s = statistics.median(interp_times)
     record_s = statistics.median(record_times)
     replay_s = statistics.median(replay_times)
     batch_s = statistics.median(batch_times)
+    store_cold_s = statistics.median(store_cold_times)
+    store_warm_s = statistics.median(store_warm_times)
     return {
-        "schema": 2,
+        "schema": 3,
         "machine_ops_per_s": round(score, 1),
         "reps": reps,
         "grid": {
@@ -439,6 +473,9 @@ def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
             "interp_samples_per_s": round(samples / interp_s, 2),
             "replay_samples_per_s": round(samples / replay_s, 2),
             "batch_samples_per_s": round(samples / batch_s, 2),
+            "store_cold_s": round(store_cold_s, 4),
+            "store_warm_s": round(store_warm_s, 4),
+            "store_speedup": round(store_cold_s / store_warm_s, 3),
             # Machine-independent: samples/s per machine-loop op/s.
             "normalized_replay": round(samples / replay_s / score, 9),
             "normalized_batch": round(samples / batch_s / score, 9),
@@ -493,6 +530,12 @@ def format_grid_bench(payload: dict) -> str:
         f"({grid['batch_samples_per_s']:.0f} samples/s, "
         f"{grid['batch_speedup']:.2f}x, normalized {grid['normalized_batch']:.2e})",
     ]
+    if grid.get("store_speedup") is not None:
+        lines.append(
+            f"  store   cold {grid['store_cold_s']:.2f}s -> warm "
+            f"{grid['store_warm_s']:.2f}s ({grid['store_speedup']:.1f}x "
+            "on cache hits)"
+        )
     return "\n".join(lines)
 
 

@@ -20,6 +20,14 @@ runtime, environment, trace index, invocation). Setting ``REPRO_JOBS=N``
 grid order, so the output is identical to the serial run. With
 ``REPRO_JOBS`` unset (or 1) the original in-process loop runs —
 bit-identical to the pre-parallel harness.
+
+Caching: with ``REPRO_STORE=<dir>`` every finished configuration is
+persisted to (and served from) the global content-addressed result
+store (:mod:`repro.store`), keyed by the sha256 of its canonical config
+description — shared across runs, figure experiments, ``bench --grid``
+and the experiment service. ``REPRO_RESUME`` remains the narrower
+per-run checkpoint; both keys embed the package/schema version so stale
+caches self-invalidate. ``REPRO_FAULTS`` disables the store by design.
 """
 
 from __future__ import annotations
@@ -48,6 +56,13 @@ from ..power.trace import PowerTrace
 from ..runtime.executor import set_sample_deadline
 from ..runtime.replay_executor import replay_intermittent
 from ..sim.replay import ReplayDiverged, ReplayRecord, record_run
+from ..store.cas import (
+    STORE_ENV,
+    ResultStore,
+    code_schema_tag,
+    config_fingerprint,
+    result_payload,
+)
 from ..workloads.base import Workload
 
 #: NVP per-cycle backup energy overhead (fraction).
@@ -306,6 +321,19 @@ def experiment_faults() -> Optional[int]:
                 file=sys.stderr,
             )
         return None
+
+
+def experiment_store() -> Optional[ResultStore]:
+    """The content-addressed result store from ``REPRO_STORE``.
+
+    ``None`` when the variable is unset — or when ``REPRO_FAULTS`` is
+    armed: chaos runs exist to stress recompute paths with adversarial
+    power, so they bypass the cache by design (their results must never
+    be served to a normal run, nor vice versa)."""
+    raw = os.environ.get(STORE_ENV, "").strip()
+    if not raw or experiment_faults() is not None:
+        return None
+    return ResultStore(raw)
 
 
 def experiment_resume_dir() -> Optional[str]:
@@ -702,10 +730,14 @@ def _resume_key(
     Everything that determines the samples — workload, mode, runtime,
     grid shape and the calibrated environment — feeds the key, so a
     resume directory can never serve results computed under different
-    knobs."""
+    knobs. The package version and result-schema version
+    (:func:`repro.store.cas.code_schema_tag`) are inputs too: bumping
+    either silently invalidates every stale checkpoint instead of
+    serving old-shape samples."""
     fingerprint = hashlib.sha256(
         repr(
             (
+                code_schema_tag(),
                 setup.trace_count,
                 setup.invocations,
                 setup.trace_duration_ms,
@@ -777,6 +809,60 @@ def _save_resumed(directory: str, key: str, runs: List[SampleRun]) -> None:
     with open(tmp_path, "w", encoding="utf-8") as file:
         json.dump(payload, file, separators=(",", ":"))
     os.replace(tmp_path, path)
+
+
+def _store_payload(
+    result: "BenchmarkResult",
+    fingerprint: str,
+    scale: Optional[str],
+    setup: ExperimentSetup,
+) -> dict:
+    """The store value for one finished configuration.
+
+    Full sample list plus the merged metrics/ledger rollups and a small
+    human-facing summary, so ``repro report --live`` and the service's
+    cached responses never re-derive anything."""
+    ledger = result.merged_ledger()
+    config = {
+        "workload": result.name,
+        "scale": scale,
+        "mode": result.mode,
+        "bits": result.bits,
+        "runtime": result.runtime,
+        "trace_count": setup.trace_count,
+        "invocations": setup.invocations,
+        "samples": len(result.runs),
+        "summary": {
+            "median_wall_ms": result.median_wall_ms,
+            "median_error": result.median_error,
+            "skim_rate": result.skim_rate,
+        },
+    }
+    return result_payload(
+        fingerprint,
+        config,
+        [_sample_run_to_dict(run) for run in result.runs],
+        metrics=result.merged_metrics().to_dict(),
+        ledger=ledger,
+    )
+
+
+def _store_lookup(
+    store: Optional[ResultStore], fingerprint: Optional[str]
+) -> Optional[List[SampleRun]]:
+    """Cached samples for a fingerprint, or ``None`` (store off / miss).
+
+    Mirrors :func:`_load_resumed`'s tolerance: a torn or foreign entry
+    is a miss, never an error."""
+    if store is None or fingerprint is None:
+        return None
+    payload = store.load(fingerprint)
+    if payload is None:
+        return None
+    try:
+        return [_sample_run_from_dict(entry) for entry in payload["runs"]]
+    except (KeyError, TypeError):
+        return None
 
 
 def _sample_specs(
@@ -993,6 +1079,22 @@ def _finish_result(
     return result
 
 
+def _fingerprint_reference(
+    workload: Workload, reference: Optional[Sequence[float]]
+) -> Optional[Sequence[float]]:
+    """``None`` when ``reference`` is the workload's own decoded output.
+
+    Callers that spell out the default reference explicitly (the grid
+    bench does) must share store fingerprints with callers that pass
+    nothing (the service does) — only a genuine override changes the
+    samples, so only a genuine override feeds the digest."""
+    if reference is None:
+        return None
+    if list(reference) == list(workload.decoded_reference()):
+        return None
+    return reference
+
+
 def run_benchmark(
     workload: Workload,
     mode: str,
@@ -1024,6 +1126,17 @@ def run_benchmark(
         # sample's result is a deterministic function of its spec either
         # way. Only ad-hoc workloads (scale=None, not reproducible from
         # a name) take the legacy inline loop below.
+        store = experiment_store()
+        fingerprint = None
+        if store is not None:
+            fingerprint = config_fingerprint(
+                workload.name, workload.scale, mode, bits, runtime,
+                setup, environment, _fingerprint_reference(workload, reference),
+            )
+            hit = _store_lookup(store, fingerprint)
+            if hit is not None:
+                result.runs.extend(hit)
+                return _finish_result(result, setup)
         resume_dir = experiment_resume_dir()
         key = None
         if resume_dir is not None:
@@ -1034,6 +1147,11 @@ def run_benchmark(
             cached = _load_resumed(resume_dir, key)
             if cached is not None:
                 result.runs.extend(cached)
+                if store is not None:
+                    store.put(
+                        fingerprint,
+                        _store_payload(result, fingerprint, workload.scale, setup),
+                    )
                 return _finish_result(result, setup)
         specs = _sample_specs(workload, mode, bits, runtime, setup, environment, reference)
         if experiment_batch():
@@ -1044,6 +1162,11 @@ def run_benchmark(
             result.runs.extend(_map_samples(specs, jobs))
         if resume_dir is not None:
             _save_resumed(resume_dir, key, result.runs)
+        if store is not None:
+            store.put(
+                fingerprint,
+                _store_payload(result, fingerprint, workload.scale, setup),
+            )
         return _finish_result(result, setup)
 
     kernel = build_anytime(workload, mode, bits)
@@ -1128,18 +1251,36 @@ def run_benchmark_suite(
             for mode, bits in configs
         ]
 
-    # Per-config resume: already-persisted configurations are excluded
-    # from the pooled grid entirely, so a restarted run only pays for
-    # the work the interrupt lost.
+    # Per-config caching, store first then resume: configurations the
+    # content-addressed store or a resume directory already hold are
+    # excluded from the pooled grid entirely, so a restarted (or
+    # re-submitted) run only pays for the work it actually lost.
+    store = experiment_store()
+    fingerprints: Dict[int, str] = {}
+    store_hits: Dict[int, bool] = {}
+    if store is not None:
+        fp_reference = _fingerprint_reference(workload, reference)
+        for index, (mode, bits) in enumerate(configs):
+            fingerprints[index] = config_fingerprint(
+                workload.name, workload.scale, mode, bits, runtime,
+                setup, environment, fp_reference,
+            )
     resume_dir = experiment_resume_dir()
     keys: Dict[int, str] = {}
     cached: Dict[int, List[SampleRun]] = {}
+    for index, (mode, bits) in enumerate(configs):
+        hit = _store_lookup(store, fingerprints.get(index))
+        if hit is not None:
+            cached[index] = hit
+            store_hits[index] = True
     if resume_dir is not None:
         for index, (mode, bits) in enumerate(configs):
             keys[index] = _resume_key(
                 workload.name, workload.scale, mode, bits, runtime,
                 setup, environment,
             )
+            if index in cached:
+                continue
             runs = _load_resumed(resume_dir, keys[index])
             if runs is not None:
                 cached[index] = runs
@@ -1151,7 +1292,9 @@ def run_benchmark_suite(
         spec_lists.append(
             _sample_specs(workload, mode, bits, runtime, setup, environment, reference)
         )
-    if experiment_batch():
+    if not spec_lists:
+        runs = []  # fully warm grid: nothing to execute, nothing to pool
+    elif experiment_batch():
         # The batch walks one commit log per configuration, so the pool
         # shards by config here — never by sample.
         runs = [run for group in _map_groups(spec_lists, jobs) for run in group]
@@ -1172,6 +1315,11 @@ def run_benchmark_suite(
             result.runs.extend(chunk)
             if resume_dir is not None:
                 _save_resumed(resume_dir, keys[index], chunk)
+        if store is not None and not store_hits.get(index):
+            store.put(
+                fingerprints[index],
+                _store_payload(result, fingerprints[index], workload.scale, setup),
+            )
         results.append(_finish_result(result, setup))
     return results
 

@@ -45,6 +45,8 @@ class ReportData:
     ledger_rows: List[dict] = field(default_factory=list)
     trace: Optional[dict] = None
     history: List[dict] = field(default_factory=list)
+    store_rows: List[dict] = field(default_factory=list)
+    store_stats: Optional[dict] = None
 
 
 def _load_jsonl(path: str) -> List[dict]:
@@ -69,13 +71,18 @@ def load_report_data(
     ledger: Optional[str] = None,
     trace: Optional[str] = None,
     history: Optional[str] = None,
+    store: Optional[str] = None,
 ) -> ReportData:
     """Parse the artifact files the caller has; each path is optional.
 
     ``trace`` accepts a raw ``REPRO_TRACE`` JSONL file (it is summarized
-    here). Unreadable paths raise ``OSError`` — the CLI turns that into
-    a friendly error — but a missing *history* file is treated as an
-    empty history, since a first run legitimately predates it.
+    here). ``store`` is a content-addressed result store *directory*
+    (``REPRO_STORE``); its entries become configuration/ledger rows like
+    a manifest's, which is what makes ``report --live`` work while a
+    service is filling the store. Unreadable paths raise ``OSError`` —
+    the CLI turns that into a friendly error — but a missing *history*
+    file is treated as an empty history, since a first run legitimately
+    predates it.
     """
     data = ReportData()
     if manifest:
@@ -94,6 +101,30 @@ def load_report_data(
             data.history = _load_jsonl(history)
         except OSError:
             data.history = []
+    if store:
+        from ..store.cas import ResultStore
+
+        cas = ResultStore(store)
+        entries = sorted(
+            cas.entries(),
+            key=lambda e: str(_config_key(e.get("config") or {})),
+        )
+        data.store_rows = entries
+        data.store_stats = cas.stats()
+        # Store entries double as per-config rows so the existing
+        # sections render from a live store with no other artifacts.
+        for entry in entries:
+            config = dict(entry.get("config") or {})
+            row = {**config, "engine": "store",
+                   "metrics": entry.get("metrics") or {}}
+            if not any(_config_key(r) == _config_key(row)
+                       for r in data.metrics_rows):
+                data.metrics_rows.append(row)
+            if entry.get("ledger"):
+                lrow = {**config, "ledger": entry["ledger"]}
+                if not any(_config_key(r) == _config_key(lrow)
+                           for r in data.ledger_rows):
+                    data.ledger_rows.append(lrow)
     return data
 
 
@@ -192,6 +223,44 @@ def ledger_share_rows(data: ReportData) -> List[List[str]]:
 LEDGER_HEADERS = ("config",) + BUCKETS + ("cycles", "energy J")
 
 
+def store_table_rows(data: ReportData) -> List[List[str]]:
+    """Per-entry store rows: fingerprint, config, scale, grid, medians."""
+    rows = []
+    for entry in data.store_rows:
+        config = entry.get("config") or {}
+        summary = config.get("summary") or {}
+        rows.append([
+            str(entry.get("fingerprint", "?"))[:12],
+            _config_label(config),
+            str(config.get("scale", "?")),
+            f"{config.get('trace_count', '?')}x"
+            f"{config.get('invocations', '?')}",
+            str(config.get("samples", len(entry.get("runs") or []))),
+            "-" if summary.get("median_wall_ms") is None
+            else f"{summary['median_wall_ms']:.0f}",
+            "-" if summary.get("median_error") is None
+            else f"{summary['median_error']:.2f}",
+            "-" if summary.get("skim_rate") is None
+            else f"{summary['skim_rate']:.2f}",
+        ])
+    return rows
+
+
+STORE_HEADERS = (
+    "fingerprint", "config", "scale", "grid", "samples",
+    "wall ms", "NRMSE %", "skim rate",
+)
+
+
+def _store_note(data: ReportData) -> str:
+    """One-line store provenance for both renderers."""
+    stats = data.store_stats or {}
+    return (
+        f"{stats.get('root', '?')}: {stats.get('entries', 0)} entries, "
+        f"{stats.get('bytes', 0):,} bytes"
+    )
+
+
 def fallback_rows(data: ReportData) -> List[List[str]]:
     """Fallback-reason census from the trace summary (if present)."""
     if not data.trace:
@@ -251,6 +320,12 @@ def render_report(data: ReportData) -> str:
             parts.append(format_table(("count", "reason"), fb_rows, title=title))
         else:
             parts.append(f"{title}\n{'=' * len(title)}\nnone")
+    store_rows = store_table_rows(data)
+    if store_rows:
+        parts.append(
+            format_table(STORE_HEADERS, store_rows, title="Result store")
+            + f"\n{_store_note(data)}"
+        )
     series = history_series(data)
     if series:
         parts.append(
@@ -260,7 +335,7 @@ def render_report(data: ReportData) -> str:
         )
     if not parts:
         parts.append("nothing to report: pass --manifest/--metrics/"
-                     "--ledger/--trace/--history")
+                     "--ledger/--trace/--history/--store")
     return "\n\n".join(parts)
 
 
@@ -504,6 +579,15 @@ def render_html_report(data: ReportData, title: str = "repro run report") -> str
             + body + "</section>"
         )
 
+    store_rows = store_table_rows(data)
+    if store_rows:
+        sections.append(
+            "<section><h2>Result store</h2>"
+            f'<p class="prov">{html.escape(_store_note(data))}</p>'
+            + _html_table(STORE_HEADERS, store_rows, numeric_from=4)
+            + "</section>"
+        )
+
     series = history_series(data)
     if series:
         sections.append(
@@ -517,7 +601,8 @@ def render_html_report(data: ReportData, title: str = "repro run report") -> str
     if not sections:
         sections.append(
             '<section><p class="empty">nothing to report: pass '
-            "--manifest/--metrics/--ledger/--trace/--history</p></section>"
+            "--manifest/--metrics/--ledger/--trace/--history/--store"
+            "</p></section>"
         )
 
     return (

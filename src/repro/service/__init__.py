@@ -1,0 +1,20 @@
+"""The asyncio experiment service: submit jobs, stream anytime results.
+
+``python -m repro serve`` starts :class:`~repro.service.server.
+ExperimentService`; ``python -m repro submit`` talks to it through
+:class:`~repro.service.client.ServiceClient`. Protocol and semantics
+are documented in docs/SERVICE.md.
+"""
+
+from .client import ServiceClient, ServiceError
+from .protocol import PROTOCOL_VERSION, JobSpec, default_socket_path
+from .server import ExperimentService
+
+__all__ = [
+    "ExperimentService",
+    "JobSpec",
+    "PROTOCOL_VERSION",
+    "ServiceClient",
+    "ServiceError",
+    "default_socket_path",
+]

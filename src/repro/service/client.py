@@ -1,0 +1,142 @@
+"""Synchronous client for the experiment service.
+
+The blocking counterpart of :mod:`repro.service.server`: one socket,
+newline-delimited JSON, request ids allocated per call. Used by
+``python -m repro submit``, the CI smoke and the tests; anything that
+speaks the protocol in docs/SERVICE.md interoperates (``nc`` included).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from typing import Callable, Optional
+
+from .protocol import decode_message, encode_message
+
+
+class ServiceError(RuntimeError):
+    """The server answered a request with an ``error`` event."""
+
+
+class ServiceClient:
+    """One blocking connection to a running experiment service."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        """Wrap an already-connected socket (use :meth:`connect`)."""
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        self._ids = itertools.count(1)
+
+    @classmethod
+    def connect(
+        cls,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> "ServiceClient":
+        """Connect over unix socket or TCP, retrying until ``timeout``.
+
+        The retry loop absorbs the startup race of a just-spawned
+        server (the CI smoke launches ``serve`` and connects
+        immediately); a server that never appears raises the last
+        ``OSError``."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[OSError] = None
+        while time.monotonic() < deadline:
+            try:
+                if socket_path is not None:
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.connect(socket_path)
+                else:
+                    if port is None:
+                        raise ValueError("need socket_path or port")
+                    sock = socket.create_connection((host, port))
+                return cls(sock)
+            except OSError as exc:
+                last_error = exc
+                time.sleep(0.05)
+        raise last_error or OSError("connect timed out")
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry: the connected client itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the socket."""
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send(self, message: dict) -> int:
+        """Send one request, returning its allocated id."""
+        request_id = next(self._ids)
+        self._sock.sendall(encode_message({**message, "id": request_id}))
+        return request_id
+
+    def _events(self, request_id: int):
+        """Yield this request's events (other ids are skipped — the
+        sync client issues one request at a time, but a server is free
+        to interleave streams)."""
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ServiceError("server closed the connection mid-request")
+            event = decode_message(line)
+            if event.get("id") == request_id:
+                yield event
+
+    def _request(self, message: dict, want: str) -> dict:
+        """One request -> one response of kind ``want`` (or error)."""
+        request_id = self._send(message)
+        for event in self._events(request_id):
+            if event.get("event") == "error":
+                raise ServiceError(event.get("error", "unknown error"))
+            if event.get("event") == want:
+                return event
+            # Anything else (stray progressive) is skipped.
+
+    # -- public ops --------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Round-trip a ``ping``; returns the ``pong`` event."""
+        return self._request({"op": "ping"}, "pong")
+
+    def stats(self) -> dict:
+        """The server's scheduler + store statistics."""
+        return self._request({"op": "stats"}, "stats")["stats"]
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop accepting work and exit."""
+        return self._request({"op": "shutdown"}, "bye")
+
+    def submit(
+        self,
+        job: dict,
+        full: bool = False,
+        on_event: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Submit one job and block until its terminal event.
+
+        Every streamed event (ack, progressives, the result) is passed
+        to ``on_event`` as it arrives — this is the anytime hook: the
+        ``level-k`` progressive carries a usable approximate answer
+        long before the return value does. Returns the ``result``
+        event; raises :class:`ServiceError` on an ``error`` event."""
+        request_id = self._send({"op": "submit", "job": job, "full": full})
+        for event in self._events(request_id):
+            if on_event is not None:
+                on_event(event)
+            if event.get("event") == "error":
+                raise ServiceError(event.get("error", "unknown error"))
+            if event.get("event") == "result":
+                return event

@@ -1,0 +1,329 @@
+"""The asyncio experiment service (``python -m repro serve``).
+
+One process serves any number of clients over a unix-domain socket or
+localhost TCP. The scheduler's contract:
+
+* **Store first.** Every submission is fingerprinted
+  (:func:`repro.service.jobs.prepare`) and looked up in the
+  content-addressed result store; a hit answers immediately with
+  ``source: "store"`` and costs no compute.
+* **In-flight dedup.** Misses whose fingerprint is already being
+  computed *subscribe* to the running job instead of starting another:
+  N clients submitting overlapping grids pay for each distinct
+  configuration exactly once, and every subscriber receives the same
+  progressive stream (earlier events replayed on late subscription).
+* **Anytime streaming.** A computing job publishes a ``level-k``
+  progressive event as soon as the grid's first sample lands — the
+  paper's skim-point answer, served before refinement — and the final
+  ``result`` event once the full grid (batch engine preferred) is
+  merged and persisted to the store.
+
+Compute runs in a thread pool so the event loop stays responsive; the
+heavy lifting inside a job can itself fan out over processes via the
+existing ``REPRO_JOBS`` machinery, which worker threads inherit from
+the server's environment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional
+
+from ..store.cas import ResultStore
+from .jobs import JobContext, compute, prepare
+from .protocol import (
+    PROTOCOL_VERSION,
+    JobSpec,
+    decode_message,
+    encode_message,
+)
+
+
+class _InflightJob:
+    """One computing fingerprint and its subscriber queues."""
+
+    def __init__(self, fingerprint: str) -> None:
+        """A job starts with no subscribers and an empty event history."""
+        self.fingerprint = fingerprint
+        self.history: List[dict] = []
+        self.queues: List[asyncio.Queue] = []
+
+    def subscribe(self) -> asyncio.Queue:
+        """Attach a subscriber; past progressive events are replayed so
+        a late-joining deduped client still sees the level-k answer."""
+        queue: asyncio.Queue = asyncio.Queue()
+        for event in self.history:
+            queue.put_nowait(event)
+        self.queues.append(queue)
+        return queue
+
+    def publish(self, event: dict) -> None:
+        """Broadcast a progressive event to every subscriber."""
+        self.history.append(event)
+        for queue in self.queues:
+            queue.put_nowait(event)
+
+    def finish(self, event: dict) -> None:
+        """Broadcast the terminal (``result``/``error``) event."""
+        for queue in self.queues:
+            queue.put_nowait(event)
+
+
+class ExperimentService:
+    """The scheduler + server. One instance per ``repro serve`` process."""
+
+    def __init__(
+        self,
+        store_dir: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        """``store_dir=None`` serves without a cache (every submission
+        computes); normal deployments point it at ``REPRO_STORE``."""
+        self.store = ResultStore(store_dir) if store_dir else None
+        self.pool = ThreadPoolExecutor(
+            max_workers=max_workers or min(8, (os.cpu_count() or 2)),
+            thread_name_prefix="repro-job",
+        )
+        self.inflight: Dict[str, _InflightJob] = {}
+        self.counters = {
+            "submissions": 0,
+            "store_hits": 0,
+            "inflight_dedups": 0,
+            "computed": 0,
+            "errors": 0,
+        }
+        self._lock = asyncio.Lock()
+        self._stop: Optional[asyncio.Event] = None
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Scheduler counters plus the store's entry/hit statistics."""
+        payload = {
+            "protocol": PROTOCOL_VERSION,
+            "inflight": len(self.inflight),
+            **self.counters,
+        }
+        payload["store"] = self.store.stats() if self.store else None
+        return payload
+
+    # -- submission path ---------------------------------------------------
+
+    @staticmethod
+    def _result_event(payload: dict, source: str, full: bool) -> dict:
+        """The terminal event for one submission; ``full`` includes the
+        raw per-sample list alongside the summary."""
+        event = {
+            "event": "result",
+            "source": source,
+            "fingerprint": payload.get("fingerprint"),
+            "config": payload.get("config"),
+            "metrics": payload.get("metrics"),
+            "ledger": payload.get("ledger"),
+        }
+        if full:
+            event["runs"] = payload.get("runs")
+        return event
+
+    async def submit(
+        self,
+        message: dict,
+        emit: Callable[[dict], "asyncio.Future"],
+    ) -> None:
+        """Handle one ``submit`` request, streaming events via ``emit``.
+
+        ``emit`` is an async callable that tags and writes one message;
+        this coroutine returns when the terminal event has been sent."""
+        self.counters["submissions"] += 1
+        full = bool(message.get("full"))
+        try:
+            spec = JobSpec.from_dict(message.get("job"))
+        except (ValueError, TypeError) as exc:
+            self.counters["errors"] += 1
+            await emit({"event": "error", "error": str(exc)})
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            ctx = await loop.run_in_executor(self.pool, prepare, spec)
+        except ValueError as exc:
+            self.counters["errors"] += 1
+            await emit({"event": "error", "error": str(exc)})
+            return
+
+        queue: Optional[asyncio.Queue] = None
+        cached_payload: Optional[dict] = None
+        deduped = False
+        async with self._lock:
+            # Store lookup under the lock: entries are small JSON files,
+            # and the lock guarantees a just-finished job (which writes
+            # the store *before* leaving the inflight map) is either
+            # still subscribable or already servable — never neither.
+            if self.store is not None:
+                cached_payload = self.store.load(ctx.fingerprint)
+            if cached_payload is not None:
+                self.counters["store_hits"] += 1
+            else:
+                job = self.inflight.get(ctx.fingerprint)
+                if job is not None:
+                    deduped = True
+                    self.counters["inflight_dedups"] += 1
+                else:
+                    job = _InflightJob(ctx.fingerprint)
+                    self.inflight[ctx.fingerprint] = job
+                    asyncio.ensure_future(self._run_job(job, ctx))
+                queue = job.subscribe()
+
+        await emit(
+            {
+                "event": "ack",
+                "protocol": PROTOCOL_VERSION,
+                "fingerprint": ctx.fingerprint,
+                "cached": cached_payload is not None,
+                "deduped": deduped,
+            }
+        )
+        if cached_payload is not None:
+            await emit(self._result_event(cached_payload, "store", full))
+            return
+        while True:
+            event = await queue.get()
+            if event.get("event") == "result":
+                await emit(self._result_event(event["payload"], event["source"], full))
+                return
+            await emit(event)
+            if event.get("event") == "error":
+                return
+
+    async def _run_job(self, job: _InflightJob, ctx: JobContext) -> None:
+        """Compute one distinct fingerprint and broadcast its events."""
+        loop = asyncio.get_running_loop()
+
+        def progress(stage: str, data: dict) -> None:
+            # Called from the worker thread; hop onto the loop.
+            loop.call_soon_threadsafe(
+                job.publish, {"event": "progressive", "stage": stage, **data}
+            )
+
+        try:
+            payload = await loop.run_in_executor(self.pool, compute, ctx, progress)
+            if self.store is not None:
+                await loop.run_in_executor(
+                    self.pool, self.store.put, ctx.fingerprint, payload
+                )
+        except Exception as exc:  # noqa: BLE001 — surfaced to the client
+            self.counters["errors"] += 1
+            async with self._lock:
+                self.inflight.pop(ctx.fingerprint, None)
+            job.finish(
+                {"event": "error", "error": f"{type(exc).__name__}: {exc}"}
+            )
+            return
+        self.counters["computed"] += 1
+        async with self._lock:
+            # Store write happened above, so a submission that misses
+            # the (now absent) inflight entry hits the store instead.
+            self.inflight.pop(ctx.fingerprint, None)
+        job.finish({"event": "result", "source": "computed", "payload": payload})
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: requests in, tagged event streams out."""
+        write_lock = asyncio.Lock()
+        pending: set = set()
+
+        async def send(request_id, message: dict) -> None:
+            if request_id is not None:
+                message = {**message, "id": request_id}
+            async with write_lock:
+                writer.write(encode_message(message))
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode_message(line)
+                except ValueError:
+                    await send(None, {"event": "error", "error": "malformed JSON line"})
+                    continue
+                op = message.get("op")
+                request_id = message.get("id")
+                if op == "ping":
+                    await send(request_id, {"event": "pong", "protocol": PROTOCOL_VERSION})
+                elif op == "stats":
+                    await send(request_id, {"event": "stats", "stats": self.stats()})
+                elif op == "shutdown":
+                    await send(request_id, {"event": "bye"})
+                    if self._stop is not None:
+                        self._stop.set()
+                    break
+                elif op == "submit":
+                    task = asyncio.ensure_future(
+                        self.submit(message, lambda m, r=request_id: send(r, m))
+                    )
+                    pending.add(task)
+                    task.add_done_callback(pending.discard)
+                else:
+                    await send(
+                        request_id,
+                        {"event": "error", "error": f"unknown op {op!r}"},
+                    )
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-stream; jobs keep running for others
+        finally:
+            for task in pending:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def serve(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        on_ready: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        """Bind and serve until a ``shutdown`` op (or cancellation).
+
+        Exactly one transport is used: the unix socket when
+        ``socket_path`` is given, else TCP on ``host:port`` (``port=0``
+        picks a free port — tests use this). ``on_ready`` receives a
+        human-readable endpoint description after binding."""
+        self._stop = asyncio.Event()
+        if socket_path is not None:
+            # A stale socket file from a dead server would fail the bind.
+            try:
+                os.unlink(socket_path)
+            except OSError:
+                pass
+            server = await asyncio.start_unix_server(self._handle, path=socket_path)
+            endpoint = f"unix:{socket_path}"
+        else:
+            server = await asyncio.start_server(self._handle, host, port or 0)
+            bound = server.sockets[0].getsockname()
+            self.bound_port = bound[1]
+            endpoint = f"tcp:{bound[0]}:{bound[1]}"
+        try:
+            async with server:
+                if on_ready is not None:
+                    on_ready(endpoint)
+                await self._stop.wait()
+        finally:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            if socket_path is not None:
+                try:
+                    os.unlink(socket_path)
+                except OSError:
+                    pass

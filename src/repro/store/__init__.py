@@ -1,0 +1,23 @@
+"""Content-addressed result store: the global cross-run cache.
+
+See :mod:`repro.store.cas` for the design and docs/SERVICE.md for the
+on-disk layout and invalidation rules.
+"""
+
+from .cas import (
+    RESULT_SCHEMA_VERSION,
+    STORE_ENV,
+    ResultStore,
+    code_schema_tag,
+    config_fingerprint,
+    result_payload,
+)
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "STORE_ENV",
+    "ResultStore",
+    "code_schema_tag",
+    "config_fingerprint",
+    "result_payload",
+]

@@ -40,12 +40,21 @@ class Workload:
     scale: "str | None" = None
 
     def decoded_reference(self) -> List[float]:
-        """Precise output in engineering units (via the IR interpreter)."""
-        from ..compiler.ir import evaluate
+        """Precise output in engineering units (via the IR interpreter).
 
-        result = evaluate(self.kernel, self.inputs)
-        outputs = {a.name: result[a.name] for a in self.kernel.outputs()}
-        return self.decode(outputs)
+        Memoized per instance: the IR evaluation is pure (fixed kernel,
+        fixed inputs) but costly at default scale, and hot paths — the
+        store's fingerprint canonicalization in particular — consult
+        the reference repeatedly. Returns a copy; mutate freely."""
+        cached = getattr(self, "_decoded_reference", None)
+        if cached is None:
+            from ..compiler.ir import evaluate
+
+            result = evaluate(self.kernel, self.inputs)
+            outputs = {a.name: result[a.name] for a in self.kernel.outputs()}
+            cached = self.decode(outputs)
+            self._decoded_reference = cached
+        return list(cached)
 
 
 def check_scale(scale: str) -> None:

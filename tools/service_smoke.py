@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""CI smoke for the experiment service (docs/SERVICE.md).
+
+Boots ``python -m repro serve`` on a unix socket, submits a small fig10
+slice twice, and asserts:
+
+* round 1 computes every configuration (with a level-k progressive
+  event arriving before each final result);
+* round 2 is pure store hits, byte-identical to round 1;
+* both match a direct in-process run of the same grid;
+* the server's stats agree (computed == configs, no errors).
+
+Writes the server's final stats JSON to ``--out`` for the CI artifact.
+Exits non-zero on any violation. Run from the repo root:
+
+    PYTHONPATH=src python tools/service_smoke.py --out store_stats.json
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+GRID = {"scale": "tiny", "trace_count": 3, "invocations": 1,
+        "trace_duration_ms": 800}
+CONFIGS = [
+    {"workload": "MatMul", "mode": "precise", "bits": None},
+    {"workload": "MatMul", "mode": "swp", "bits": 8},
+    {"workload": "MatMul", "mode": "swp", "bits": 4},
+]
+
+
+def direct_grid():
+    """The same slice, run directly on the batch engine (ground truth)."""
+    from repro.experiments.common import (
+        ExperimentSetup,
+        _sample_run_to_dict,
+        calibrate_environment,
+        measure_precise_cycles,
+        run_benchmark,
+    )
+    from repro.workloads import make_workload
+
+    os.environ["REPRO_BATCH"] = "1"  # the engine the service computes on
+    setup = ExperimentSetup(**GRID)
+    workload = make_workload("MatMul", "tiny")
+    environment = calibrate_environment(measure_precise_cycles(workload), setup)
+    runs = []
+    for config in CONFIGS:
+        result = run_benchmark(
+            workload, config["mode"], config["bits"], "clank", setup, environment
+        )
+        runs.append([_sample_run_to_dict(r) for r in result.runs])
+    del os.environ["REPRO_BATCH"]
+    return runs
+
+
+def submit_round(client):
+    """Submit every config; returns (sources, runs, progressive counts)."""
+    sources, runs, previews = [], [], []
+    for config in CONFIGS:
+        events = []
+        result = client.submit(
+            {**config, "runtime": "clank", **GRID},
+            full=True, on_event=events.append,
+        )
+        sources.append(result["source"])
+        runs.append(result["runs"])
+        previews.append(
+            sum(1 for e in events if e.get("event") == "progressive")
+        )
+    return sources, runs, previews
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="store_stats.json",
+                        help="where to write the server stats artifact")
+    args = parser.parse_args()
+
+    from repro.service.client import ServiceClient
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        socket_path = os.path.join(tmp, "svc.sock")
+        store_dir = os.path.join(tmp, "store")
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--socket", socket_path, "--store", store_dir],
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        try:
+            with ServiceClient.connect(socket_path, timeout=30) as client:
+                cold_sources, cold_runs, previews = submit_round(client)
+                warm_sources, warm_runs, _ = submit_round(client)
+                stats = client.stats()
+                client.shutdown()
+        finally:
+            server.wait(timeout=30)
+
+        if cold_sources != ["computed"] * len(CONFIGS):
+            failures.append(f"cold round sources: {cold_sources}")
+        if any(n < 1 for n in previews):
+            failures.append(f"missing level-k progressive events: {previews}")
+        if warm_sources != ["store"] * len(CONFIGS):
+            failures.append(f"warm round was not pure cache hits: {warm_sources}")
+        if warm_runs != cold_runs:
+            failures.append("warm results differ from cold results")
+        if cold_runs != direct_grid():
+            failures.append("service results differ from a direct serial run")
+        if stats["computed"] != len(CONFIGS) or stats["errors"]:
+            failures.append(f"unexpected scheduler stats: {stats}")
+        if stats["store"]["entries"] != len(CONFIGS):
+            failures.append(f"unexpected store stats: {stats['store']}")
+
+        with open(args.out, "w", encoding="utf-8") as file:
+            json.dump(stats, file, indent=2)
+        print(f"service stats -> {args.out}: {json.dumps(stats)}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"service smoke passed: {len(CONFIGS)} configs computed once, "
+              "resubmission served from the store, results identical")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
