@@ -116,10 +116,10 @@ def cmd_profile(args) -> int:
     from .core import AnytimeConfig, AnytimeKernel
     from .experiments.report import format_table
     from .observability.profiler import fold_cpu, format_folded, region_rows
-    from .workloads import BENCHMARKS, make_workload
+    from .workloads import ALL_BENCHMARKS, make_workload
 
-    if args.benchmark not in BENCHMARKS:
-        print(f"unknown benchmark {args.benchmark!r}; choose from {BENCHMARKS}",
+    if args.benchmark not in ALL_BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}; choose from {ALL_BENCHMARKS}",
               file=sys.stderr)
         return 2
     workload = make_workload(args.benchmark, args.scale)
@@ -285,10 +285,10 @@ def cmd_submit(args) -> int:
 
     from .service.client import ServiceClient, ServiceError
     from .service.protocol import default_socket_path
-    from .workloads import BENCHMARKS, make_workload
+    from .workloads import ALL_BENCHMARKS, make_workload
 
-    if args.benchmark not in BENCHMARKS:
-        print(f"unknown benchmark {args.benchmark!r}; choose from {BENCHMARKS}",
+    if args.benchmark not in ALL_BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}; choose from {ALL_BENCHMARKS}",
               file=sys.stderr)
         return 2
     mode = args.mode
@@ -347,6 +347,8 @@ def cmd_submit(args) -> int:
     config = result.get("config") or {}
     summary = config.get("summary") or {}
     bits = config.get("bits")
+    accuracy = summary.get("median_accuracy")
+    acc_part = "" if accuracy is None else f", top-1 accuracy {accuracy:.3f}"
     print(
         f"result [{result.get('source')}] {config.get('workload')}/"
         f"{config.get('mode')}{'' if bits is None else bits}/"
@@ -354,6 +356,7 @@ def cmd_submit(args) -> int:
         f"median wall {summary.get('median_wall_ms')} ms, "
         f"median NRMSE {summary.get('median_error', 0.0):.2f}%, "
         f"skim rate {summary.get('skim_rate', 0.0):.2f}"
+        f"{acc_part}"
     )
     return 0
 
@@ -379,6 +382,10 @@ def _bench_grid(args) -> int:
     print(benchmarking.format_grid_bench(payload))
     if not payload["grid"]["identical"]:
         print("GRID CHECK FAILED: engine results diverged from the interpreter",
+              file=sys.stderr)
+        return 1
+    if not payload["nn"]["identical"]:
+        print("GRID CHECK FAILED: NN cross-check diverged from the interpreter",
               file=sys.stderr)
         return 1
     failures = benchmarking.check_grid_history(payload, history) \
@@ -448,10 +455,10 @@ def _bench_workload(args) -> int:
         median_speedup,
         run_benchmark,
     )
-    from .workloads import BENCHMARKS, make_workload
+    from .workloads import ALL_BENCHMARKS, make_workload
 
-    if args.benchmark not in BENCHMARKS:
-        print(f"unknown benchmark {args.benchmark!r}; choose from {BENCHMARKS}",
+    if args.benchmark not in ALL_BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}; choose from {ALL_BENCHMARKS}",
               file=sys.stderr)
         return 2
     setup = ExperimentSetup(
@@ -463,10 +470,13 @@ def _bench_workload(args) -> int:
     baseline = run_benchmark(workload, "precise", None, args.runtime, setup, env, reference)
     for bits in (8, 4):
         wn = run_benchmark(workload, workload.technique, bits, args.runtime, setup, env, reference)
+        accuracy = wn.median_accuracy
+        acc_part = "" if accuracy is None else f", top-1 accuracy {accuracy:.3f}"
         print(
             f"{args.benchmark} {bits}-bit on {args.runtime}: "
             f"{median_speedup(baseline, wn):.2f}x speedup, "
             f"{wn.median_error:.2f}% NRMSE, skim rate {wn.skim_rate:.2f}"
+            f"{acc_part}"
         )
     return 0
 
@@ -594,7 +604,7 @@ def main(argv: Optional[list] = None) -> int:
                                choices=(1, 2, 3, 4, 8),
                                help="approximation bit width (non-precise)")
     submit_parser.add_argument("--runtime", default="clank",
-                               choices=("clank", "nvp", "hibernus"))
+                               choices=("clank", "progress", "nvp", "hibernus"))
     submit_parser.add_argument("--scale", default="default",
                                choices=("tiny", "default", "paper"))
     submit_parser.add_argument("--traces", type=int, default=9)
@@ -639,7 +649,8 @@ def main(argv: Optional[list] = None) -> int:
              "speedup check",
     )
     bench_parser.add_argument("benchmark", nargs="?", default="interp")
-    bench_parser.add_argument("--runtime", default="clank", choices=("clank", "nvp", "hibernus"))
+    bench_parser.add_argument("--runtime", default="clank",
+                              choices=("clank", "progress", "nvp", "hibernus"))
     bench_parser.add_argument("--scale", default="default", choices=("tiny", "default", "paper"))
     bench_parser.add_argument("--traces", type=int, default=3)
     bench_parser.add_argument("--invocations", type=int, default=1)

@@ -32,6 +32,11 @@ BENCH_CONFIGS = (
     ("MatMul", "precise", None),
     ("MatMul", "swp", 8),
     ("Home", "swv", 8),
+    # The suite's heaviest kernel, long absent from the bench grid; the
+    # committed baseline gates only the keys it already has, so this
+    # config starts gating once it lands in BENCH_interp.json and the
+    # rolling history.
+    ("Conv2d", "swp", 8),
 )
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parents[2] / "BENCH_interp.json"
@@ -49,6 +54,13 @@ HISTORY_WINDOW = 20
 #: invocations each) with the interpreter and with the replay engine.
 GRID_WORKLOAD = "MatMul"
 GRID_RUNTIME = "clank"
+
+#: The NN-inference cross-check appended to every grid bench: the same
+#: three-config grid on the MLP classifier under the progress runtime,
+#: one untimed pass per engine, gated on bit-identity only (timing
+#: history stays a pure MatMul/clank series).
+NN_GRID_WORKLOAD = "MLP"
+NN_GRID_RUNTIME = "progress"
 
 _MACHINE_LOOP_ITERS = 2_000_000
 
@@ -433,6 +445,35 @@ def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
                 store_warm_times.append(time.perf_counter() - start)
         finally:
             shutil.rmtree(store_dir, ignore_errors=True)
+
+        # NN-inference cross-check: the same three-config grid on the
+        # MLP classifier under the progress runtime, one untimed pass
+        # per engine. Gated on bit-identity (full SampleRun equality,
+        # accuracy field included); excluded from the timing history.
+        os.environ.pop("REPRO_BATCH", None)
+        nn_workload = make_workload(NN_GRID_WORKLOAD, scale)
+        nn_environment = calibrate_environment(
+            measure_precise_cycles(nn_workload), setup
+        )
+        nn_reference = nn_workload.decoded_reference()
+        nn_configs = [
+            ("precise", None),
+            (nn_workload.technique, 8),
+            (nn_workload.technique, 4),
+        ]
+
+        def nn_pass():
+            return run_benchmark_suite(
+                nn_workload, nn_configs, NN_GRID_RUNTIME, setup,
+                nn_environment, nn_reference,
+            )
+
+        nn_interp = nn_pass()
+        os.environ["REPRO_REPLAY"] = "1"
+        nn_replay = nn_pass()
+        del os.environ["REPRO_REPLAY"]
+        os.environ["REPRO_BATCH"] = "1"
+        nn_batch = nn_pass()
     finally:
         for key, value in saved.items():
             if value is None:
@@ -440,6 +481,14 @@ def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
             else:
                 os.environ[key] = value
 
+    nn_runs = [run for result in nn_interp for run in result.runs]
+    nn_identical = (
+        nn_runs == [run for result in nn_replay for run in result.runs]
+        and nn_runs == [run for result in nn_batch for run in result.runs]
+    )
+    nn_accuracy = next(
+        (r.median_accuracy for r in nn_interp if r.bits == 8), None
+    )
     interp_tuples = _grid_sample_tuples(interp_results)
     identical = (
         interp_tuples == _grid_sample_tuples(replay_results)
@@ -479,6 +528,13 @@ def run_grid_bench(reps: int = 3, scale: str = "default") -> dict:
             # Machine-independent: samples/s per machine-loop op/s.
             "normalized_replay": round(samples / replay_s / score, 9),
             "normalized_batch": round(samples / batch_s / score, 9),
+        },
+        "nn": {
+            "workload": NN_GRID_WORKLOAD,
+            "runtime": NN_GRID_RUNTIME,
+            "samples": len(nn_runs),
+            "identical": nn_identical,
+            "median_accuracy_8bit": nn_accuracy,
         },
     }
 
@@ -535,6 +591,15 @@ def format_grid_bench(payload: dict) -> str:
             f"  store   cold {grid['store_cold_s']:.2f}s -> warm "
             f"{grid['store_warm_s']:.2f}s ({grid['store_speedup']:.1f}x "
             "on cache hits)"
+        )
+    nn = payload.get("nn")
+    if nn is not None:
+        nn_verdict = "bit-identical" if nn["identical"] else "RESULTS DIVERGED"
+        accuracy = nn.get("median_accuracy_8bit")
+        accuracy_txt = "" if accuracy is None else f", 8-bit top-1 {accuracy:.3f}"
+        lines.append(
+            f"  nn      {nn['workload']} grid on {nn['runtime']} "
+            f"({nn['samples']} samples): {nn_verdict}{accuracy_txt}"
         )
     return "\n".join(lines)
 

@@ -33,6 +33,7 @@ from ..runtime.clank import ClankRuntime
 from ..runtime.hibernus import HibernusRuntime
 from ..runtime.executor import IntermittentExecutor, RunResult
 from ..runtime.nvp import NVPRuntime
+from ..runtime.progress import ProgressRuntime, output_ranges_of
 from ..sim.cpu import CPU
 from ..sim.multiplier import MemoTable, Multiplier
 from .quality import QualityCurve, nrmse
@@ -186,13 +187,19 @@ class AnytimeKernel:
             if watchdog_cycles is not None:
                 kwargs["watchdog_cycles"] = watchdog_cycles
             policy = ClankRuntime(**kwargs)
+        elif runtime == "progress":
+            kwargs = {}
+            if watchdog_cycles is not None:
+                kwargs["watchdog_cycles"] = watchdog_cycles
+            policy = ProgressRuntime(output_ranges_of(self), **kwargs)
         elif runtime == "nvp":
             policy = NVPRuntime()
         elif runtime == "hibernus":
             policy = HibernusRuntime()
         else:
             raise ValueError(
-                f"unknown runtime {runtime!r} (want 'clank', 'nvp' or 'hibernus')"
+                f"unknown runtime {runtime!r} "
+                "(want 'clank', 'progress', 'nvp' or 'hibernus')"
             )
         executor = IntermittentExecutor(cpu, supply, policy)
         result = executor.run(max_wall_ms=max_wall_ms)

@@ -43,7 +43,9 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig3": fig3.run,
     "fig9": fig9.run,
     "fig10": fig10.run,
+    "fig10-nn": fig10.run_nn,
     "fig11": fig11.run,
+    "fig11-nn": fig11.run_nn,
     "fig12": fig12.run,
     "fig13": fig13.run,
     "fig14": fig14.run,

@@ -143,6 +143,11 @@ class SampleRun:
     outages: int
     skim_taken: bool
     error: float
+    #: Top-1 classification accuracy in [0, 1] for workloads with an
+    #: accuracy hook (the NN inference family); None elsewhere. Part of
+    #: equality: accuracy is a pure function of the outputs, so engines
+    #: that agree on outputs must agree here too.
+    accuracy: Optional[float] = None
     metrics: Optional[dict] = field(default=None, compare=False, repr=False)
     ledger: Optional[dict] = field(default=None, compare=False, repr=False)
 
@@ -164,6 +169,12 @@ class BenchmarkResult:
     @property
     def median_error(self) -> float:
         return statistics.median(r.error for r in self.runs)
+
+    @property
+    def median_accuracy(self) -> Optional[float]:
+        """Median top-1 accuracy, or None for NRMSE-only workloads."""
+        scores = [r.accuracy for r in self.runs if r.accuracy is not None]
+        return statistics.median(scores) if scores else None
 
     @property
     def skim_rate(self) -> float:
@@ -408,7 +419,10 @@ _worker_records: Dict[Tuple[str, str, str, Optional[int]], ReplayRecord] = {}
 _CHECKPOINT_BYTES = (16 + 1 + 1) * 4
 
 
-def _sample_metrics(run, engine: str, fallback: bool, error: float) -> dict:
+def _sample_metrics(
+    run, engine: str, fallback: bool, error: float,
+    accuracy: Optional[float] = None,
+) -> dict:
     """The per-sample :class:`Metrics` rollup, as a picklable dict.
 
     Built once per finished sample (cold path), so it is collected
@@ -440,6 +454,8 @@ def _sample_metrics(run, engine: str, fallback: bool, error: float) -> dict:
     metrics.observe("checkpoint_cycles", stats.checkpoint_cycles)
     metrics.observe("restore_cycles", stats.restore_cycles)
     metrics.observe("error", error)
+    if accuracy is not None:
+        metrics.observe("accuracy", accuracy)
     return metrics.to_dict()
 
 
@@ -544,7 +560,9 @@ def _execute_sample(spec: SampleSpec) -> SampleRun:
                     start_tick=spec.invocation * 313,
                     max_wall_ms=spec.max_wall_ms,
                     watchdog_cycles=(
-                        spec.watchdog_cycles if spec.runtime == "clank" else None
+                        spec.watchdog_cycles
+                        if spec.runtime in ("clank", "progress")
+                        else None
                     ),
                 )
                 engine = "replay"
@@ -571,7 +589,11 @@ def _execute_sample(spec: SampleSpec) -> SampleRun:
             energy_model=energy,
             start_tick=spec.invocation * 313,
             max_wall_ms=spec.max_wall_ms,
-            watchdog_cycles=spec.watchdog_cycles if spec.runtime == "clank" else None,
+            watchdog_cycles=(
+                spec.watchdog_cycles
+                if spec.runtime in ("clank", "progress")
+                else None
+            ),
         )
     return _finalize_sample(
         spec, run, workload, reference, trace, energy, engine, fallback
@@ -599,7 +621,9 @@ def _finalize_sample(
             outages=run.result.outages,
             active_cycles=run.result.active_cycles,
         )
-    error = nrmse(reference, workload.decode(run.outputs))
+    decoded = workload.decode(run.outputs)
+    error = nrmse(reference, decoded)
+    accuracy = workload.accuracy(decoded) if workload.accuracy else None
     if TRACER.enabled:
         TRACER.emit(
             "sample_end", engine=engine, completed=run.result.completed,
@@ -612,7 +636,8 @@ def _finalize_sample(
         outages=run.result.outages,
         skim_taken=run.result.skim_taken,
         error=error,
-        metrics=_sample_metrics(run, engine, fallback, error),
+        accuracy=accuracy,
+        metrics=_sample_metrics(run, engine, fallback, error, accuracy),
         ledger=_sample_ledger(run, energy),
     )
 
@@ -696,7 +721,9 @@ def _run_config_group(specs: List[SampleSpec]) -> List[SampleRun]:
                 start_tick=s.invocation * 313,
                 max_wall_ms=s.max_wall_ms,
                 watchdog_cycles=(
-                    s.watchdog_cycles if s.runtime == "clank" else None
+                    s.watchdog_cycles
+                    if s.runtime in ("clank", "progress")
+                    else None
                 ),
             )
         )
@@ -765,6 +792,7 @@ def _sample_run_to_dict(run: SampleRun) -> dict:
         "outages": run.outages,
         "skim_taken": run.skim_taken,
         "error": run.error,
+        "accuracy": run.accuracy,
         "metrics": run.metrics,
         "ledger": run.ledger,
     }
@@ -779,6 +807,7 @@ def _sample_run_from_dict(data: dict) -> SampleRun:
         outages=data["outages"],
         skim_taken=data["skim_taken"],
         error=data["error"],
+        accuracy=data.get("accuracy"),
         metrics=data.get("metrics"),
         ledger=data.get("ledger"),
     )
@@ -835,6 +864,7 @@ def _store_payload(
         "summary": {
             "median_wall_ms": result.median_wall_ms,
             "median_error": result.median_error,
+            "median_accuracy": result.median_accuracy,
             "skim_rate": result.skim_rate,
         },
     }
@@ -1190,7 +1220,11 @@ def run_benchmark(
                 energy_model=energy,
                 start_tick=invocation * 313,
                 max_wall_ms=setup.max_wall_ms,
-                watchdog_cycles=environment.watchdog_cycles if runtime == "clank" else None,
+                watchdog_cycles=(
+                    environment.watchdog_cycles
+                    if runtime in ("clank", "progress")
+                    else None
+                ),
             )
             if not run.result.completed:
                 raise IncompleteRun(
@@ -1199,7 +1233,9 @@ def run_benchmark(
                     outages=run.result.outages,
                     active_cycles=run.result.active_cycles,
                 )
-            error = nrmse(reference, workload.decode(run.outputs))
+            decoded = workload.decode(run.outputs)
+            error = nrmse(reference, decoded)
+            accuracy = workload.accuracy(decoded) if workload.accuracy else None
             if TRACER.enabled:
                 TRACER.emit(
                     "sample_end", engine="interp",
@@ -1215,7 +1251,8 @@ def run_benchmark(
                     outages=run.result.outages,
                     skim_taken=run.result.skim_taken,
                     error=error,
-                    metrics=_sample_metrics(run, "interp", False, error),
+                    accuracy=accuracy,
+                    metrics=_sample_metrics(run, "interp", False, error, accuracy),
                     ledger=_sample_ledger(run, energy),
                 )
             )

@@ -15,7 +15,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..workloads import BENCHMARKS, make_workload
+from ..workloads import BENCHMARKS, NN_BENCHMARKS, make_workload
 from .common import (
     BenchmarkResult,
     ExperimentSetup,
@@ -34,6 +34,9 @@ class SpeedupRow:
     error_8bit: float
     speedup_4bit: float
     error_4bit: float
+    #: Median top-1 accuracy per build for NN workloads; None elsewhere.
+    accuracy_8bit: Optional[float] = None
+    accuracy_4bit: Optional[float] = None
 
 
 @dataclass
@@ -58,7 +61,28 @@ class SpeedupResult:
     def average_error_4bit(self) -> float:
         return statistics.mean(r.error_4bit for r in self.rows)
 
+    @property
+    def has_accuracy(self) -> bool:
+        """True when any row carries top-1 accuracy (NN workloads)."""
+        return any(r.accuracy_8bit is not None for r in self.rows)
+
     def as_text(self, title: str) -> str:
+        def acc(value: Optional[float]) -> str:
+            return "-" if value is None else f"{value:.3f}"
+
+        if self.has_accuracy:
+            rows = [
+                (r.benchmark, f"{r.speedup_8bit:.2f}x", f"{r.error_8bit:.2f}",
+                 acc(r.accuracy_8bit), f"{r.speedup_4bit:.2f}x",
+                 f"{r.error_4bit:.2f}", acc(r.accuracy_4bit))
+                for r in self.rows
+            ]
+            return format_table(
+                ["Benchmark", "8-bit speedup", "8-bit NRMSE %", "8-bit top-1",
+                 "4-bit speedup", "4-bit NRMSE %", "4-bit top-1"],
+                rows,
+                title=title,
+            )
         rows = [
             (r.benchmark, f"{r.speedup_8bit:.2f}x", f"{r.error_8bit:.2f}",
              f"{r.speedup_4bit:.2f}x", f"{r.error_4bit:.2f}")
@@ -105,6 +129,8 @@ def run_speedup_experiment(
                 error_8bit=wn8.median_error,
                 speedup_4bit=median_speedup(baseline, wn4),
                 error_4bit=wn4.median_error,
+                accuracy_8bit=wn8.median_accuracy,
+                accuracy_4bit=wn4.median_accuracy,
             )
         )
     return result
@@ -112,6 +138,13 @@ def run_speedup_experiment(
 
 def run(setup: Optional[ExperimentSetup] = None, **kwargs) -> SpeedupResult:
     return run_speedup_experiment("clank", setup, **kwargs)
+
+
+def run_nn(setup: Optional[ExperimentSetup] = None) -> SpeedupResult:
+    """The NN inference family under the progress-embedding runtime:
+    the Figure 10 protocol over FC/Pool/MLP/CNN, with top-1 accuracy
+    reported next to NRMSE for each anytime build."""
+    return run_speedup_experiment("progress", setup, benchmarks=NN_BENCHMARKS)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

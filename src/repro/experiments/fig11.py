@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from ..workloads import BENCHMARKS
+from ..workloads import BENCHMARKS, NN_BENCHMARKS
 from .common import ExperimentSetup
 from .fig10 import SpeedupResult, run_speedup_experiment
 
@@ -22,6 +22,11 @@ def run(
     benchmarks: Tuple[str, ...] = BENCHMARKS,
 ) -> SpeedupResult:
     return run_speedup_experiment("nvp", setup, benchmarks=benchmarks)
+
+
+def run_nn(setup: Optional[ExperimentSetup] = None) -> SpeedupResult:
+    """The NN inference family on the non-volatile processor."""
+    return run_speedup_experiment("nvp", setup, benchmarks=NN_BENCHMARKS)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -33,6 +33,7 @@ from ..runtime.clank import ClankRuntime
 from ..runtime.executor import IntermittentExecutor
 from ..runtime.hibernus import HibernusRuntime
 from ..runtime.nvp import NVPRuntime
+from ..runtime.progress import ProgressRuntime, output_ranges_of
 from ..sim.cpu import CpuFault
 from ..workloads import make_workload
 from .fuzz import burst_outage_trace, knife_edge_trace
@@ -49,7 +50,7 @@ from .plan import (
 )
 
 #: Default campaign axes.
-DEFAULT_RUNTIMES = ("clank", "nvp", "hibernus")
+DEFAULT_RUNTIMES = ("clank", "progress", "nvp", "hibernus")
 DEFAULT_WORKLOADS = ("Home", "MatMul")
 #: Simulated wall-clock budget per scenario; livelocks convert to typed
 #: stalls long before this, so hitting it is a forward-progress bug.
@@ -184,7 +185,7 @@ class _Caches:
         return workload, self.kernels[key], self.goldens[key]
 
 
-def _build_runtime(name: str, mutant: Optional[str]):
+def _build_runtime(name: str, mutant: Optional[str], kernel: AnytimeKernel):
     """The runtime instance for one scenario, honouring a mutant swap."""
     if mutant is not None:
         target, mutant_cls = MUTANTS[mutant]
@@ -192,6 +193,8 @@ def _build_runtime(name: str, mutant: Optional[str]):
             return mutant_cls()
     if name == "clank":
         return ClankRuntime()
+    if name == "progress":
+        return ProgressRuntime(output_ranges_of(kernel))
     if name == "nvp":
         return NVPRuntime()
     if name == "hibernus":
@@ -218,7 +221,7 @@ def run_scenario(
         ),
         defer_trips=scenario.runtime == "hibernus",
     )
-    runtime = _build_runtime(scenario.runtime, mutant)
+    runtime = _build_runtime(scenario.runtime, mutant, kernel)
     executor = IntermittentExecutor(cpu, supply, runtime)
     controller = ChaosController(
         scenario.plan, cpu, supply, runtime, kernel

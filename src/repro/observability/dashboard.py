@@ -183,6 +183,7 @@ def config_table_rows(data: ReportData) -> List[List[str]]:
         samples = row.get("samples", 0) or 0
         base = baselines.get((row.get("workload"), row.get("runtime")))
         speedup = (base / wall) if (base and wall) else None
+        accuracy = _hist_mean(metrics, "accuracy")
         rows.append([
             _config_label(row),
             str(row.get("engine", "?")),
@@ -190,6 +191,7 @@ def config_table_rows(data: ReportData) -> List[List[str]]:
             "-" if wall is None else f"{wall:.0f}",
             "-" if speedup is None else f"{speedup:.2f}x",
             "-" if error is None else f"{error:.2f}",
+            "-" if accuracy is None else f"{accuracy:.3f}",
             str(outages),
             "-" if not samples else f"{skims / samples:.2f}",
         ])
@@ -198,7 +200,7 @@ def config_table_rows(data: ReportData) -> List[List[str]]:
 
 CONFIG_HEADERS = (
     "config", "engine", "samples", "wall ms", "speedup",
-    "NRMSE %", "outages", "skim rate",
+    "NRMSE %", "top-1", "outages", "skim rate",
 )
 
 
@@ -240,6 +242,8 @@ def store_table_rows(data: ReportData) -> List[List[str]]:
             else f"{summary['median_wall_ms']:.0f}",
             "-" if summary.get("median_error") is None
             else f"{summary['median_error']:.2f}",
+            "-" if summary.get("median_accuracy") is None
+            else f"{summary['median_accuracy']:.3f}",
             "-" if summary.get("skim_rate") is None
             else f"{summary['skim_rate']:.2f}",
         ])
@@ -248,7 +252,51 @@ def store_table_rows(data: ReportData) -> List[List[str]]:
 
 STORE_HEADERS = (
     "fingerprint", "config", "scale", "grid", "samples",
-    "wall ms", "NRMSE %", "skim rate",
+    "wall ms", "NRMSE %", "top-1", "skim rate",
+)
+
+
+def accuracy_energy_rows(data: ReportData) -> List[List[str]]:
+    """Accuracy-vs-energy curve points for the NN inference family.
+
+    One row per store entry whose summary carries top-1 accuracy (the
+    workloads with an accuracy hook), ordered by workload then median
+    active cycles — so reading down a workload's rows walks its
+    progressive-precision trade-off: each anytime build's energy
+    (median active cycles and the grid's ledger energy) against the
+    classification accuracy it buys."""
+    points = []
+    for entry in data.store_rows:
+        config = entry.get("config") or {}
+        summary = config.get("summary") or {}
+        accuracy = summary.get("median_accuracy")
+        if accuracy is None:
+            continue
+        runs = [r for r in entry.get("runs") or [] if isinstance(r, dict)]
+        cycles = sorted(r.get("active_cycles", 0) for r in runs)
+        med_cycles = cycles[len(cycles) // 2] if cycles else 0
+        ledger = entry.get("ledger") or {}
+        energy = ledger.get("total_energy_j")
+        points.append((
+            config.get("workload") or "", med_cycles,
+            _config_label(config), energy, accuracy,
+            summary.get("median_error"),
+        ))
+    points.sort(key=lambda p: (p[0], p[1]))
+    return [
+        [
+            label,
+            f"{med_cycles:,}",
+            "-" if energy is None else f"{energy:.3e}",
+            f"{accuracy:.3f}",
+            "-" if error is None else f"{error:.2f}",
+        ]
+        for _, med_cycles, label, energy, accuracy, error in points
+    ]
+
+
+ACCURACY_HEADERS = (
+    "config", "median active cycles", "grid energy J", "top-1", "NRMSE %",
 )
 
 
@@ -326,6 +374,12 @@ def render_report(data: ReportData) -> str:
             format_table(STORE_HEADERS, store_rows, title="Result store")
             + f"\n{_store_note(data)}"
         )
+    accuracy_rows = accuracy_energy_rows(data)
+    if accuracy_rows:
+        parts.append(format_table(
+            ACCURACY_HEADERS, accuracy_rows,
+            title="Accuracy vs energy (NN inference)",
+        ))
     series = history_series(data)
     if series:
         parts.append(
@@ -585,6 +639,17 @@ def render_html_report(data: ReportData, title: str = "repro run report") -> str
             "<section><h2>Result store</h2>"
             f'<p class="prov">{html.escape(_store_note(data))}</p>'
             + _html_table(STORE_HEADERS, store_rows, numeric_from=4)
+            + "</section>"
+        )
+
+    accuracy_rows = accuracy_energy_rows(data)
+    if accuracy_rows:
+        sections.append(
+            "<section><h2>Accuracy vs energy — NN inference</h2>"
+            '<p class="prov">each workload\'s anytime builds ordered by '
+            "median active cycles: energy spent against top-1 accuracy "
+            "bought</p>"
+            + _html_table(ACCURACY_HEADERS, accuracy_rows, numeric_from=1)
             + "</section>"
         )
 

@@ -77,14 +77,14 @@ class _Lane:
         "_cur", "_consumed", "_war", "_stop", "_adv",
     )
 
-    def __init__(self, record: ReplayRecord, args: Dict) -> None:
+    def __init__(self, record: ReplayRecord, args: Dict, kernel=None) -> None:
         self.runtime = args["runtime"]
         self.watchdog_cycles = args.get("watchdog_cycles")
         self.start_tick = args.get("start_tick", 0)
         self.max_wall_ms = args.get("max_wall_ms", 10_000_000)
         self.skim = SkimRegister()
         self.policy = _make_policy(
-            self.runtime, record, self.skim, self.watchdog_cycles
+            self.runtime, record, self.skim, self.watchdog_cycles, kernel
         )
         self.supply = PowerSupply(
             args["trace"],
@@ -211,12 +211,25 @@ class BatchReplayExecutor:
                     chunk = min(chunk, lane.interval)
                 lane.chunk = chunk
                 lane.ckpt_before = lane.policy.stats.checkpoint_cycles
-            plain = [lane for lane in work if lane.interval is None]
-            clank = [lane for lane in work if lane.interval is not None]
+            scalar = [
+                lane for lane in work
+                if getattr(lane.policy, "scalar_chunks", False)
+            ]
+            grouped = [
+                lane for lane in work
+                if not getattr(lane.policy, "scalar_chunks", False)
+            ]
+            plain = [lane for lane in grouped if lane.interval is None]
+            clank = [lane for lane in grouped if lane.interval is not None]
             if plain:
                 self._run_plain_chunks(plain)
             if clank:
                 self._run_clank_chunks(clank)
+            for lane in scalar:
+                # Policies with a second event horizon (progress) run
+                # their own scalar chunk loop per lane; they still share
+                # the record's memoized WAR verdicts and batch index.
+                lane.ran = lane.policy.run_chunk(lane.chunk)
             nxt: List[_Lane] = []
             for lane in work:
                 ran = lane.ran
@@ -406,7 +419,7 @@ def run_batch_group(
     if record.batch is None:
         index = build_batch_index(record)
         record.batch = index if index is not None else False
-    lanes = [_Lane(record, args) for args in lane_args]
+    lanes = [_Lane(record, args, kernel) for args in lane_args]
     BatchReplayExecutor(record, lanes).run()
 
     results: List[Optional[IntermittentRun]] = []

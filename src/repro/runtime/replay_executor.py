@@ -50,10 +50,16 @@ from .executor import (
 from .hibernus import HibernusRuntime, HibernusReplayPolicy
 from .nvp import NVPRuntime, NVPReplayPolicy
 from .base import ReplayPolicy
+from .progress import (
+    ProgressReplayPolicy,
+    ProgressRuntime,
+    output_ranges_of,
+    output_store_positions,
+)
 from .skim import SkimRegister
 
 #: Replay handles exactly the runtimes the live path knows.
-REPLAYABLE_RUNTIMES = ("clank", "nvp", "hibernus")
+REPLAYABLE_RUNTIMES = ("clank", "progress", "nvp", "hibernus")
 
 _LIVELOCK_MESSAGE = (
     "forward-progress livelock: 64 consecutive "
@@ -232,29 +238,42 @@ def _make_policy(
     record: ReplayRecord,
     skim: SkimRegister,
     watchdog_cycles: Optional[int],
+    kernel=None,
 ) -> ReplayPolicy:
     if runtime == "clank":
         kwargs = {}
         if watchdog_cycles is not None:
             kwargs["watchdog_cycles"] = watchdog_cycles
         return ClankReplayPolicy(record, skim, **kwargs)
+    if runtime == "progress":
+        kwargs = {}
+        if watchdog_cycles is not None:
+            kwargs["watchdog_cycles"] = watchdog_cycles
+        positions = output_store_positions(record, output_ranges_of(kernel))
+        return ProgressReplayPolicy(record, skim, positions, **kwargs)
     if runtime == "nvp":
         return NVPReplayPolicy(record, skim)
     if runtime == "hibernus":
         return HibernusReplayPolicy(record, skim)
     raise ValueError(
-        f"unknown runtime {runtime!r} (want 'clank', 'nvp' or 'hibernus')"
+        f"unknown runtime {runtime!r} "
+        "(want 'clank', 'progress', 'nvp' or 'hibernus')"
     )
 
 
 def _make_handoff_runtime(
-    runtime: str, skim: SkimRegister, watchdog_cycles: Optional[int]
+    runtime: str, skim: SkimRegister, watchdog_cycles: Optional[int], kernel=None
 ):
     if runtime == "clank":
         kwargs = {"skim": skim}
         if watchdog_cycles is not None:
             kwargs["watchdog_cycles"] = watchdog_cycles
         return ClankRuntime(**kwargs)
+    if runtime == "progress":
+        kwargs = {"skim": skim}
+        if watchdog_cycles is not None:
+            kwargs["watchdog_cycles"] = watchdog_cycles
+        return ProgressRuntime(output_ranges_of(kernel), **kwargs)
     if runtime == "nvp":
         return NVPRuntime(skim=skim)
     return HibernusRuntime(skim=skim)
@@ -289,7 +308,7 @@ def replay_intermittent(
     log cannot reproduce this sample exactly (caller replays live).
     """
     skim = SkimRegister()
-    policy = _make_policy(runtime, record, skim, watchdog_cycles)
+    policy = _make_policy(runtime, record, skim, watchdog_cycles, kernel)
     supply = PowerSupply(
         trace,
         capacitor or Capacitor(),
@@ -359,7 +378,7 @@ def finish_replay_run(
     checkpoint = Checkpoint.from_cpu(cpu)
     cpu.pc = target
     cpu.halted = False
-    live_runtime = _make_handoff_runtime(runtime, skim, watchdog_cycles)
+    live_runtime = _make_handoff_runtime(runtime, skim, watchdog_cycles, kernel)
     live = IntermittentExecutor(cpu, supply, live_runtime)
     if hasattr(live_runtime, "checkpoint"):
         # The live runtime's entry checkpoint must be the *pre-skim*

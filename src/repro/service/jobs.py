@@ -86,13 +86,16 @@ def prepare(spec: JobSpec) -> JobContext:
 
 def _sample_summary(run) -> dict:
     """The small dict a progressive event carries for one sample."""
-    return {
+    summary = {
         "wall_ms": run.wall_ms,
         "on_ms": run.on_ms,
         "outages": run.outages,
         "skim_taken": run.skim_taken,
         "error": run.error,
     }
+    if run.accuracy is not None:
+        summary["accuracy"] = run.accuracy
+    return summary
 
 
 def compute(

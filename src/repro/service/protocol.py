@@ -68,17 +68,17 @@ class JobSpec:
 
     def validate(self) -> None:
         """Raise ``ValueError`` for anything the harness would reject."""
-        from ..workloads import BENCHMARKS
+        from ..workloads import ALL_BENCHMARKS
 
-        if self.workload not in BENCHMARKS:
+        if self.workload not in ALL_BENCHMARKS:
             raise ValueError(
-                f"unknown workload {self.workload!r}; choose from {BENCHMARKS}"
+                f"unknown workload {self.workload!r}; choose from {ALL_BENCHMARKS}"
             )
         if self.mode not in ("precise", "swp", "swv"):
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.mode != "precise" and self.bits not in (1, 2, 3, 4, 8):
             raise ValueError(f"invalid bits {self.bits!r} for mode {self.mode!r}")
-        if self.runtime not in ("clank", "nvp", "hibernus"):
+        if self.runtime not in ("clank", "progress", "nvp", "hibernus"):
             raise ValueError(f"unknown runtime {self.runtime!r}")
         if self.scale not in ("tiny", "default", "paper"):
             raise ValueError(f"unknown scale {self.scale!r}")

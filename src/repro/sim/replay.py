@@ -84,6 +84,7 @@ class ReplayRecord:
         "replayable",
         "reason",
         "batch",
+        "_progress_memo",
         "_war_memo",
         "_war_scans",
         "_mat_cache",
@@ -118,6 +119,9 @@ class ReplayRecord:
         #: attached by the batch backend; None (or the False sentinel
         #: when numpy is unavailable) falls back to the scalar scans.
         self.batch = None
+        #: Output-store positions per output-range tuple, memoized for
+        #: the progress policy (repro.runtime.progress).
+        self._progress_memo: Dict[tuple, List[int]] = {}
         self._war_memo: Dict[int, int] = {}
         #: In-flight WAR scans: start -> [frontier, read_first, written].
         self._war_scans: Dict[int, list] = {}

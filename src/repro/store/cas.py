@@ -49,7 +49,7 @@ from typing import Dict, Iterator, List, Optional
 #: every fingerprint (and the ``REPRO_RESUME`` key), so all existing
 #: cache entries become unreachable and recompute — stale caches
 #: self-invalidate instead of serving old-shape data.
-RESULT_SCHEMA_VERSION = 1
+RESULT_SCHEMA_VERSION = 2  # v2: SampleRun grew the accuracy field
 
 #: Environment variable naming the store's root directory.
 STORE_ENV = "REPRO_STORE"

@@ -1,13 +1,20 @@
-"""The paper's benchmark suite (Table I) and case studies."""
+"""The paper's benchmark suite (Table I), case studies, and the NN family."""
 
 from typing import Dict
 
-from .base import SCALES, Workload, check_scale, flatten_outputs
-from . import conv2d, glucose, home, matadd, matmul, netmotion, var
-from . import data
+from .base import SCALES, Workload, check_scale, flatten_outputs, top1_accuracy
+from . import cnn, conv2d, fc, glucose, home, matadd, matmul, mlp, netmotion, pool, var
+from . import data, nnops
 
 #: Table I order.
 BENCHMARKS = ("Conv2d", "MatMul", "MatAdd", "Home", "Var", "NetMotion")
+
+#: The NN inference family (progressive-precision classification /
+#: pooling workloads; FC/MLP/CNN report top-1 accuracy next to NRMSE).
+NN_BENCHMARKS = ("FC", "Pool", "MLP", "CNN")
+
+#: Every workload the harness can build by name.
+ALL_BENCHMARKS = BENCHMARKS + NN_BENCHMARKS
 
 _FACTORIES = {
     "Conv2d": conv2d.make,
@@ -16,13 +23,17 @@ _FACTORIES = {
     "Home": home.make,
     "Var": var.make,
     "NetMotion": netmotion.make,
+    "FC": fc.make,
+    "Pool": pool.make,
+    "MLP": mlp.make,
+    "CNN": cnn.make,
 }
 
 
 def make_workload(name: str, scale: str = "default", **kwargs) -> Workload:
-    """Build one Table I benchmark by name."""
+    """Build one benchmark (Table I or NN family) by name."""
     if name not in _FACTORIES:
-        raise KeyError(f"unknown benchmark {name!r}; choose from {BENCHMARKS}")
+        raise KeyError(f"unknown benchmark {name!r}; choose from {ALL_BENCHMARKS}")
     workload = _FACTORIES[name](scale=scale, **kwargs)
     if not kwargs:
         workload.scale = scale  # reconstructible in worker processes
@@ -30,24 +41,32 @@ def make_workload(name: str, scale: str = "default", **kwargs) -> Workload:
 
 
 def all_workloads(scale: str = "default", **kwargs) -> Dict[str, Workload]:
-    """The full Table I suite."""
+    """The full Table I suite (the NN family is built by name on demand)."""
     return {name: make_workload(name, scale, **kwargs) for name in BENCHMARKS}
 
 
 __all__ = [
+    "ALL_BENCHMARKS",
     "BENCHMARKS",
+    "NN_BENCHMARKS",
     "SCALES",
     "Workload",
     "all_workloads",
     "check_scale",
+    "cnn",
     "conv2d",
     "data",
+    "fc",
     "flatten_outputs",
     "glucose",
     "home",
     "make_workload",
     "matadd",
     "matmul",
+    "mlp",
     "netmotion",
+    "nnops",
+    "pool",
+    "top1_accuracy",
     "var",
 ]

@@ -11,7 +11,7 @@ shapes are available via ``scale="paper"``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..compiler.ir import Kernel
 
@@ -33,6 +33,11 @@ class Workload:
     decode: Callable[[Dict[str, List[int]]], List[float]]
     provisioned: bool = False
     params: Dict[str, int] = field(default_factory=dict)
+    #: Classification quality hook (the NN inference family): maps the
+    #: *decoded* outputs to top-1 accuracy in [0, 1] against the
+    #: workload's seeded labels. None means the workload's quality is
+    #: NRMSE-only and accuracy columns stay blank.
+    accuracy: Optional[Callable[[List[float]], float]] = None
     #: Set by make_workload when the workload is reconstructible from
     #: (name, scale) alone; the parallel experiment runner uses it to
     #: rebuild the workload inside worker processes. None means "only
@@ -60,6 +65,28 @@ class Workload:
 def check_scale(scale: str) -> None:
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+
+
+def top1_accuracy(labels: Sequence[int], classes: int) -> Callable[[List[float]], float]:
+    """Build a top-1 accuracy scorer over row-major logit outputs.
+
+    The returned callable takes decoded outputs whose *last*
+    ``len(labels) * classes`` values are the logits (one row per
+    sample) and scores the fraction of rows whose argmax matches the
+    seeded label. Ties resolve to the lowest class index, keeping the
+    score deterministic across engines."""
+    count = len(labels)
+
+    def accuracy(decoded: List[float]) -> float:
+        logits = decoded[len(decoded) - count * classes :]
+        correct = 0
+        for row, label in enumerate(labels):
+            scores = logits[row * classes : (row + 1) * classes]
+            if scores.index(max(scores)) == label:
+                correct += 1
+        return correct / count
+
+    return accuracy
 
 
 def flatten_outputs(outputs: Dict[str, Sequence[int]]) -> List[float]:

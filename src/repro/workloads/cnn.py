@@ -1,0 +1,344 @@
+"""CNN: a small fixed-weight convolutional classifier.
+
+The NN family's composition workload, grown from the conv2d seed: a
+3x3 signed filter bank over a batch of 16-bit images (the
+SWP-fissioned stage), then — cloned into every subword phase's
+epilogue — ReLU + 2x2 average pooling and a dense layer over the
+pooled feature pyramid producing per-class logits. Anytime level-k
+execution therefore classifies from the top k image bit-planes:
+low-bit logits arrive first and refine as later planes accumulate into
+the feature maps.
+
+Weights are fixed, not trained: the filter bank is seeded zero-sum
+(offset-blind edge/texture detectors), and the dense layer is a
+matched filter — each class row is that class's *prototype image*
+pushed through the same conv/ReLU/pool pipeline at build time, mean-
+centered across classes. Samples are noisy prototype instances, so the
+planted labels are recovered with high accuracy at full precision;
+top-1 accuracy is reported next to NRMSE.
+
+Register-budget note: the register file pins one register per array,
+scalar and loop-variable name, so the convolution is laid out im2col
+style — ``make`` expands each image into per-position 3x3 patches (the
+standard conv-as-GEMM embedding on microcontrollers), which removes
+the two kernel-offset loop variables and keeps every index affine and
+shallow. The weights share one ``W`` arena (filter taps, then dense
+rows) and all three result stages share one non-volatile ``MAPS``
+arena (feature maps, pooled pyramid, logits — each a progress-
+embedding target for the ``progress`` runtime), with loop-variable
+names reused across stages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..compiler.ir import Array, Assign, BinOp, Const, Kernel, Load, Loop, Pragma, Store, Var
+from .base import Workload, check_scale, top1_accuracy
+from .data import filter_bank, noisy_image_batch, pattern_images
+from .nnops import affine, decode_signed, relu_shift
+
+FRAC_BITS = 8
+
+#: (batch, image side, filters, classes, relu shift) per scale. The
+#: shift renormalizes post-ReLU activations so the dense layer's i32
+#: accumulators cannot overflow at that scale's feature count.
+SHAPES = {
+    "tiny": (4, 8, 2, 3, 6),
+    "default": (6, 10, 2, 4, 6),
+    "paper": (12, 16, 4, 8, 9),
+}
+
+FILTER_AMPLITUDE = 48
+NOISE = 2500.0
+
+
+def layout(batch: int, side: int, filters: int, classes: int) -> Dict[str, int]:
+    """Arena offsets/sizes shared by the kernel builder and the decoder."""
+    s = side - 2
+    s2 = s // 2
+    positions = s * s
+    feats = filters * s2 * s2
+    feat_len = batch * filters * positions
+    pool_len = batch * feats
+    return {
+        "s": s,
+        "s2": s2,
+        "positions": positions,
+        "feats": feats,
+        "wf_base": filters * 9,
+        "feat_len": feat_len,
+        "pool_base": feat_len,
+        "pool_len": pool_len,
+        "logit_base": feat_len + pool_len,
+        "logit_len": batch * classes,
+    }
+
+
+def im2col(image: List[int], side: int) -> List[int]:
+    """Expand one image into per-position 3x3 patches, row major.
+
+    Entry ``((y * s) + x) * 9 + (ky * 3 + kx)`` is pixel
+    ``(y + ky, x + kx)``, so the convolution becomes a stride-9 dot
+    product — the conv-as-GEMM layout that keeps the kernel's index
+    expressions affine in three loop variables instead of five."""
+    s = side - 2
+    patches: List[int] = []
+    for y in range(s):
+        for x in range(s):
+            for ky in range(3):
+                for kx in range(3):
+                    patches.append(image[(y + ky) * side + (x + kx)])
+    return patches
+
+
+def build_kernel(
+    batch: int, side: int, filters: int, classes: int, shift: int, bits: int = 8
+) -> Kernel:
+    """MAPS = [conv3x3(IMG, W) | avgpool(relu(FEAT)) | POOL @ WF.T]."""
+    geo = layout(batch, side, filters, classes)
+    s, s2, feats = geo["s"], geo["s2"], geo["feats"]
+    positions = geo["positions"]
+    conv = Loop("i", 0, batch, [
+        Loop("f", 0, filters, [
+            Loop("y", 0, s, [
+                Loop("x", 0, s, [
+                    Assign("acc", Const(0)),
+                    Loop("t", 0, 9, [
+                        Assign(
+                            "acc",
+                            BinOp(
+                                "+",
+                                Var("acc"),
+                                BinOp(
+                                    "*",
+                                    Load("W", affine(("f", 9), ("t", 1))),
+                                    Load(
+                                        "IMG",
+                                        affine(
+                                            ("i", positions * 9),
+                                            ("y", s * 9),
+                                            ("x", 9),
+                                            ("t", 1),
+                                        ),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ]),
+                    Store(
+                        "MAPS",
+                        affine(("i", filters * positions), ("f", positions), ("y", s), ("x", 1)),
+                        Var("acc"),
+                    ),
+                ]),
+            ]),
+        ]),
+    ])
+
+    def window(dy: int, dx: int):
+        # Feature-map element (2y+dy, 2x+dx) of filter f, image i.
+        return Load(
+            "MAPS",
+            affine(
+                ("i", filters * positions),
+                ("f", positions),
+                ("y", 2 * s),
+                ("x", 2),
+                const=dy * s + dx,
+            ),
+        )
+
+    pool_body: List = [Assign("acc", Const(0))]
+    for dy in (0, 1):
+        for dx in (0, 1):
+            pool_body.append(
+                Assign("acc", BinOp("+", Var("acc"), relu_shift(window(dy, dx), shift)))
+            )
+    pool_body.append(
+        Store(
+            "MAPS",
+            affine(
+                ("i", feats), ("f", s2 * s2), ("y", s2), ("x", 1),
+                const=geo["pool_base"],
+            ),
+            BinOp(">>", Var("acc"), Const(2)),
+        )
+    )
+    pool = Loop("i", 0, batch, [
+        Loop("f", 0, filters, [
+            Loop("y", 0, s2, [Loop("x", 0, s2, pool_body)]),
+        ]),
+    ])
+    # Loop var "t" is reused as the class index: the register file pins
+    # one register per unique name.
+    dense = Loop("i", 0, batch, [
+        Loop("t", 0, classes, [
+            Assign("acc", Const(0)),
+            Loop("f", 0, filters, [
+                Loop("y", 0, s2, [
+                    Loop("x", 0, s2, [
+                        Assign(
+                            "acc",
+                            BinOp(
+                                "+",
+                                Var("acc"),
+                                BinOp(
+                                    "*",
+                                    Load(
+                                        "W",
+                                        affine(
+                                            ("t", feats), ("f", s2 * s2), ("y", s2), ("x", 1),
+                                            const=geo["wf_base"],
+                                        ),
+                                    ),
+                                    Load(
+                                        "MAPS",
+                                        affine(
+                                            ("i", feats), ("f", s2 * s2), ("y", s2), ("x", 1),
+                                            const=geo["pool_base"],
+                                        ),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ]),
+                ]),
+            ]),
+            Store(
+                "MAPS",
+                affine(("i", classes), ("t", 1), const=geo["logit_base"]),
+                Var("acc"),
+            ),
+        ]),
+    ])
+    maps_len = geo["logit_base"] + geo["logit_len"]
+    return Kernel(
+        name="cnn",
+        arrays={
+            "IMG": Array(
+                "IMG", batch * positions * 9, 16, "input", pragma=Pragma("asp", bits)
+            ),
+            "W": Array("W", geo["wf_base"] + classes * feats, 16, "input", signed=True),
+            "MAPS": Array("MAPS", maps_len, 32, "output", signed=True),
+        },
+        body=[conv, pool, dense],
+        scalars=("acc",),
+    )
+
+
+def pooled_features(
+    image: List[int], taps: List[int], side: int, filters: int, shift: int
+) -> List[int]:
+    """Python twin of the conv/ReLU/pool stages, for weight derivation.
+
+    Runs the same integer pipeline the kernel executes (at full
+    precision) over one image, returning the pooled feature vector the
+    dense layer would see. Used at build time to turn each class's
+    prototype image into a matched-filter weight row."""
+    s = side - 2
+    s2 = s // 2
+    feats: List[int] = []
+    for f in range(filters):
+        bank = taps[f * 9 : (f + 1) * 9]
+        fm = [
+            [
+                sum(
+                    bank[ky * 3 + kx] * image[(y + ky) * side + (x + kx)]
+                    for ky in range(3)
+                    for kx in range(3)
+                )
+                for x in range(s)
+            ]
+            for y in range(s)
+        ]
+        for p in range(s2):
+            for q in range(s2):
+                total = 0
+                for dy in (0, 1):
+                    for dx in (0, 1):
+                        v = fm[2 * p + dy][2 * q + dx]
+                        total += (v >> shift) if v > 0 else 0
+                feats.append(total >> 2)
+    return feats
+
+
+def matched_filter(prototype_feats: List[List[int]], limit: int = 127) -> List[int]:
+    """Doubly-centered, amplitude-limited dense weights from class features.
+
+    Each class row is its prototype's pooled features minus the per-
+    feature mean across classes (removing the component common to every
+    class), then minus its own mean across features — a zero-sum row,
+    so logits ignore the uniform positive bias that rectified noise
+    adds to every pooled feature and respond only to the pattern.
+    Finally the rows are scaled down by a power of two until all
+    entries fit in ``[-limit, limit]``, preserving the matched-filter
+    direction while keeping the dense layer's accumulators within i32."""
+    classes = len(prototype_feats)
+    count = len(prototype_feats[0])
+    centered = []
+    for c in range(classes):
+        row = []
+        for p in range(count):
+            mean = sum(prototype_feats[k][p] for k in range(classes)) // classes
+            row.append(prototype_feats[c][p] - mean)
+        row_mean = sum(row) // count
+        row = [v - row_mean for v in row]
+        centered.append(row)
+    peak = max((abs(v) for row in centered for v in row), default=0)
+    scale = 0
+    while (peak >> scale) > limit:
+        scale += 1
+    flat: List[int] = []
+    for row in centered:
+        flat.extend(int(v / (1 << scale)) for v in row)
+    return flat
+
+
+def make_decode(geo: Dict[str, int]):
+    """Build the decoder for one scale's arena layout.
+
+    Decoded order is feature maps, pooled pyramid, then logits — so
+    the accuracy hook's "last batch * classes values" contract holds."""
+
+    def decode(outputs: Dict[str, List[int]]) -> List[float]:
+        """MAPS arena back to signed floats (features, pools, logits)."""
+        return decode_signed(outputs["MAPS"], float(1 << FRAC_BITS))
+
+    return decode
+
+
+def make(scale: str = "default", seed: int = 9, bits: int = 8) -> Workload:
+    """Build the CNN workload: pattern dataset + matched-filter weights."""
+    check_scale(scale)
+    batch, side, filters, classes, shift = SHAPES[scale]
+    geo = layout(batch, side, filters, classes)
+    taps = filter_bank(filters, 3, seed, FILTER_AMPLITUDE)
+    prototypes = pattern_images(classes, side, seed + 1)
+    samples, labels = noisy_image_batch(prototypes, batch, seed + 2, noise=NOISE)
+    proto_feats = [
+        pooled_features(image, taps, side, filters, shift) for image in prototypes
+    ]
+    patches: List[int] = []
+    for i in range(batch):
+        patches.extend(im2col(samples[i * side * side : (i + 1) * side * side], side))
+    return Workload(
+        name="CNN",
+        area="NN Inference",
+        description=(
+            f"3x3x{filters} conv + ReLU/avg-pool + dense: "
+            f"{batch} {side}x{side} images -> {classes} classes"
+        ),
+        technique="swp",
+        kernel=build_kernel(batch, side, filters, classes, shift, bits),
+        inputs={"IMG": patches, "W": taps + matched_filter(proto_feats)},
+        decode=make_decode(geo),
+        params={
+            "batch": batch,
+            "side": side,
+            "filters": filters,
+            "classes": classes,
+            "shift": shift,
+        },
+        accuracy=top1_accuracy(labels, classes),
+    )

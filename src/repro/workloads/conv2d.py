@@ -2,9 +2,13 @@
 
 The paper applies a 9x9 Gaussian to a 128x128 image; the kernel is the
 suite's heaviest and its anytime transform is subword pipelining on the
-image pixels. The default scale shrinks the image (the filter stays
-9x9) so the pure-Python simulator remains fast; ``scale="paper"``
-restores 128x128.
+image pixels. The default scale shrinks the image (and "tiny" also the
+filter, to 5x5) so the pure-Python simulator remains fast;
+``scale="paper"`` restores the 128x128 image with the full 9x9 filter.
+
+This kernel doubles as the seed of the NN inference family
+(``fc``/``pool``/``mlp``/``cnn``): the CNN workload grows the same
+filter-multiply loop nest into a conv + ReLU/pool + dense classifier.
 
 Outputs accumulate raw fixed-point products into 32-bit words; decoding
 divides by the filter's fixed-point scale (coefficients sum to 256), so
@@ -80,6 +84,11 @@ def decode(outputs: Dict[str, List[int]]) -> List[float]:
 
 
 def make(scale: str = "default", seed: int = 0, bits: int = 8) -> Workload:
+    """Build the Conv2d workload at the given scale.
+
+    Seed 0 predates the one-default-seed-per-workload convention
+    (MatMul=1 .. NetMotion=5, NN family 6-9) and is pinned by the
+    golden-value suite; it stays 0 deliberately."""
     check_scale(scale)
     out_side, k = SHAPES[scale]
     in_side = out_side + k - 1

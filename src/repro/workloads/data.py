@@ -78,6 +78,117 @@ def sensor_series(count: int, seed: int, base: float, swing: float, scale: float
     return [max(0, int(v * scale)) for v in values]
 
 
+def class_prototypes(
+    classes: int, dim: int, seed: int, amplitude: int = 100
+) -> List[List[int]]:
+    """Zero-sum signed prototype vectors, one per class.
+
+    Each row sums to exactly zero so that any constant offset added to a
+    feature vector (the unsigned-pixel midpoint, sensor bias) cancels out
+    of its dot product with the prototype. The NN workloads use these
+    rows both to plant class structure in their synthetic datasets and as
+    fixed first-layer weights."""
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(-amplitude, amplitude + 1, size=(classes, dim)).astype(np.int64)
+    protos: List[List[int]] = []
+    for row in rows:
+        # Spread the residual sum over entries one count at a time so the
+        # row sums to zero without exceeding amplitude + 1 anywhere.
+        residual = int(row.sum())
+        step = 1 if residual > 0 else -1
+        i = 0
+        while residual != 0:
+            row[i % dim] -= step
+            residual -= step
+            i += 1
+        protos.append([int(v) for v in row])
+    return protos
+
+
+def labeled_samples(
+    count: int,
+    prototypes: List[List[int]],
+    seed: int,
+    signal: int = 48,
+    noise: float = 1500.0,
+    offset: int = 32768,
+) -> "tuple[List[int], List[int]]":
+    """Noisy unsigned 16-bit feature vectors with planted class labels.
+
+    Each sample is ``offset + signal * prototype[label] + gaussian
+    noise``, clamped to the 16-bit sensor range. Returns the row-major
+    flattened samples and the label list; both are deterministic in the
+    seed, so worker processes rebuilding a workload from (name, scale)
+    reproduce the exact dataset."""
+    rng = np.random.default_rng(seed)
+    protos = np.asarray(prototypes, dtype=np.int64)
+    labels = [int(v) for v in rng.integers(0, len(prototypes), size=count)]
+    samples: List[int] = []
+    for label in labels:
+        row = offset + signal * protos[label] + rng.normal(0, noise, size=protos.shape[1])
+        samples.extend(int(v) for v in np.clip(row, 0, 65535))
+    return samples, labels
+
+
+def filter_bank(filters: int, k: int, seed: int, amplitude: int = 48) -> List[int]:
+    """Zero-sum signed k x k filters (edge/texture detectors), flattened.
+
+    Zero-sum taps make the convolution blind to the image's constant
+    offset, so the CNN's feature maps respond to structure only."""
+    rng = np.random.default_rng(seed)
+    taps = rng.integers(-amplitude, amplitude + 1, size=(filters, k * k)).astype(np.int64)
+    flat: List[int] = []
+    for row in taps:
+        residual = int(row.sum())
+        step = 1 if residual > 0 else -1
+        i = 0
+        while residual != 0:
+            row[i % (k * k)] -= step
+            residual -= step
+            i += 1
+        flat.extend(int(v) for v in row)
+    return flat
+
+
+def pattern_images(
+    classes: int, side: int, seed: int, signal: float = 9000.0, offset: float = 28000.0
+) -> List[List[int]]:
+    """One smooth 16-bit prototype image per class.
+
+    A coarse 4x4 random field is bilinearly upsampled to ``side`` pixels,
+    giving each class a distinctive low-frequency pattern that survives
+    3x3 convolution + pooling — the planted structure the CNN workload
+    classifies."""
+    rng = np.random.default_rng(seed)
+    images: List[List[int]] = []
+    grid = np.linspace(0.0, 3.0, side)
+    for _ in range(classes):
+        coarse = rng.normal(0.0, 1.0, size=(4, 4))
+        rows = np.stack([np.interp(grid, np.arange(4.0), coarse[r]) for r in range(4)])
+        field = np.stack([np.interp(grid, np.arange(4.0), rows[:, c]) for c in range(side)]).T
+        image = np.clip(offset + signal * field, 0, 65535)
+        images.append([int(v) for v in image.ravel()])
+    return images
+
+
+def noisy_image_batch(
+    prototypes: List[List[int]], count: int, seed: int, noise: float = 1200.0
+) -> "tuple[List[int], List[int]]":
+    """Noisy instances of prototype images with planted labels.
+
+    Returns ``count`` images (flattened, concatenated) where image ``b``
+    is prototype ``labels[b]`` plus gaussian pixel noise, clamped to the
+    16-bit range."""
+    rng = np.random.default_rng(seed)
+    protos = np.asarray(prototypes, dtype=np.int64)
+    labels = [int(v) for v in rng.integers(0, len(prototypes), size=count)]
+    samples: List[int] = []
+    for label in labels:
+        image = protos[label] + rng.normal(0, noise, size=protos.shape[1])
+        samples.extend(int(v) for v in np.clip(image, 0, 65535))
+    return samples, labels
+
+
 def motion_magnitudes(count: int, seed: int, peak: int = 4000) -> List[int]:
     """Per-interval movement magnitudes for wildlife tracking: long calm
     stretches with bursts of travel."""

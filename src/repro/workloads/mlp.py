@@ -1,0 +1,146 @@
+"""MLP: a two-layer fixed-weight perceptron classifier.
+
+The hidden layer (the SWP-fissioned stage) computes a batch of feature
+vectors times a signed weight matrix; the epilogue applies ReLU (the
+sign-mask trick — the datapath has no compare) with a renormalizing
+shift, then a second dense layer producing per-class logits. Because
+the compiler clones the epilogue into every subword phase, anytime
+level-k execution yields logits computed from the top k feature
+bit-planes: progressive-precision inference.
+
+The fixed weights implement a real classifier via the *unfolding*
+construction: the hidden layer holds each zero-sum class prototype and
+its negation (2C units), and the output layer takes ``relu(s) -
+relu(-s) = s`` per class — a genuine two-layer ReLU network whose
+logits provably recover the linear prototype scores, so the planted
+labels are recovered at full precision and degrade gracefully at low
+bit-planes. Top-1 accuracy against the planted labels is the quality
+metric reported next to NRMSE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..compiler.ir import Array, Assign, BinOp, Const, Kernel, Load, Loop, Pragma, Store, Var
+from .base import Workload, check_scale, top1_accuracy
+from .data import class_prototypes, labeled_samples
+from .nnops import affine, decode_signed, relu_shift
+
+FRAC_BITS = 8
+
+#: Post-ReLU renormalization shift (keeps layer-2 accumulators in i32).
+ACT_SHIFT = 8
+
+#: Output-layer weight magnitude for the unfolding construction.
+OUT_GAIN = 8
+
+#: (batch, features, classes) per scale; hidden units = 2 * classes.
+SHAPES = {"tiny": (6, 12, 3), "default": (12, 16, 4), "paper": (32, 32, 6)}
+
+AMPLITUDE = 100
+SIGNAL = 48
+NOISE = 1500.0
+
+
+def build_kernel(batch: int, dim: int, classes: int, bits: int = 8) -> Kernel:
+    """HID = X @ W1.T (fissioned); LOGITS = relu(HID)>>s @ W2.T."""
+    hidden = 2 * classes
+    layer1 = Loop("i", 0, batch, [
+        Loop("j", 0, hidden, [
+            Assign("acc", Const(0)),
+            Loop("k", 0, dim, [
+                Assign(
+                    "acc",
+                    BinOp(
+                        "+",
+                        Var("acc"),
+                        BinOp(
+                            "*",
+                            Load("W1", affine(("j", dim), ("k", 1))),
+                            Load("X", affine(("i", dim), ("k", 1))),
+                        ),
+                    ),
+                ),
+            ]),
+            Store("HID", affine(("i", hidden), ("j", 1)), Var("acc")),
+        ]),
+    ])
+    # Loop var "k" is reused as the class index and scalar "acc" as the
+    # logit accumulator: the register file pins one register per unique
+    # name, and the NN kernels stay within that budget by reusing names
+    # across independent stages.
+    act_expr = relu_shift(Load("HID", affine(("i", hidden), ("j", 1))), ACT_SHIFT)
+    layer2 = Loop("i", 0, batch, [
+        Loop("k", 0, classes, [
+            Assign("acc", Const(0)),
+            Loop("j", 0, hidden, [
+                Assign(
+                    "acc",
+                    BinOp(
+                        "+",
+                        Var("acc"),
+                        BinOp("*", act_expr, Load("W2", affine(("k", hidden), ("j", 1)))),
+                    ),
+                ),
+            ]),
+            Store("LOGITS", affine(("i", classes), ("k", 1)), Var("acc")),
+        ]),
+    ])
+    return Kernel(
+        name="mlp",
+        arrays={
+            "X": Array("X", batch * dim, 16, "input", pragma=Pragma("asp", bits)),
+            "W1": Array("W1", hidden * dim, 16, "input", signed=True),
+            "W2": Array("W2", classes * hidden, 16, "input", signed=True),
+            "HID": Array("HID", batch * hidden, 32, "output", signed=True),
+            "LOGITS": Array("LOGITS", batch * classes, 32, "output", signed=True),
+        },
+        body=[layer1, layer2],
+        scalars=("acc",),
+    )
+
+
+def decode(outputs: Dict[str, List[int]]) -> List[float]:
+    """Hidden pre-activations and logits as signed floats."""
+    scale = float(1 << FRAC_BITS)
+    return decode_signed(outputs["HID"], scale) + decode_signed(outputs["LOGITS"], scale)
+
+
+def unfolded_weights(prototypes: List[List[int]]) -> "tuple[List[int], List[int]]":
+    """Fixed W1/W2 for the unfolding construction (see module docstring)."""
+    classes = len(prototypes)
+    w1: List[int] = []
+    for row in prototypes:
+        w1.extend(row)
+    for row in prototypes:
+        w1.extend(-v for v in row)
+    w2: List[int] = []
+    for c in range(classes):
+        row = [0] * (2 * classes)
+        row[c] = OUT_GAIN
+        row[classes + c] = -OUT_GAIN
+        w2.extend(row)
+    return w1, w2
+
+
+def make(scale: str = "default", seed: int = 8, bits: int = 8) -> Workload:
+    """Build the MLP workload: planted dataset + unfolded fixed weights."""
+    check_scale(scale)
+    batch, dim, classes = SHAPES[scale]
+    prototypes = class_prototypes(classes, dim, seed, AMPLITUDE)
+    samples, labels = labeled_samples(
+        batch, prototypes, seed + 1, signal=SIGNAL, noise=NOISE
+    )
+    w1, w2 = unfolded_weights(prototypes)
+    return Workload(
+        name="MLP",
+        area="NN Inference",
+        description=f"2-layer ReLU MLP: {batch}x{dim} -> {2 * classes} -> {classes}",
+        technique="swp",
+        kernel=build_kernel(batch, dim, classes, bits),
+        inputs={"X": samples, "W1": w1, "W2": w2},
+        decode=decode,
+        params={"batch": batch, "dim": dim, "classes": classes, "hidden": 2 * classes},
+        accuracy=top1_accuracy(labels, classes),
+    )

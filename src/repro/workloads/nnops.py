@@ -1,0 +1,91 @@
+"""IR building blocks shared by the NN inference workloads.
+
+The kernel IR deliberately has no comparison, max or division
+operators (the paper's datapath is an adder, a multiplier and a
+shifter), so the nonlinearities every neural network needs are built
+from two's-complement bit tricks:
+
+* ``relu(x) = x & ~(0 - (x >> 31))`` — the logical shift extracts the
+  sign bit of the 32-bit residue, negation smears it into an all-ones
+  mask, and the complemented mask keeps the value only when it is
+  non-negative.
+* ``max(a, b) = a ^ ((a ^ b) & (0 - ((a - b) >> 31)))`` — valid while
+  both magnitudes stay below 2**31, which the workloads' value-bound
+  discipline guarantees.
+
+Every helper returns plain :mod:`repro.compiler.ir` statement lists, so
+the SWP pass sees ordinary adds/shifts/ands and clones them unchanged
+into each subword phase's epilogue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from ..compiler.ir import MASK32, Assign, BinOp, Const, Expr, Var
+
+Coeff = Tuple[Union[str, Expr], int]
+
+
+def affine(*terms: Coeff, const: int = 0) -> Expr:
+    """Build ``sum(coeff * var) + const`` as an IR index expression.
+
+    Each term is ``(var_name_or_expr, coeff)``; unit coefficients skip
+    the multiply so the generated index code matches the hand-written
+    style of the Table I kernels."""
+    expr: Expr = None
+    for var, coeff in terms:
+        base = Var(var) if isinstance(var, str) else var
+        part = base if coeff == 1 else BinOp("*", base, Const(coeff))
+        expr = part if expr is None else BinOp("+", expr, part)
+    if const or expr is None:
+        part = Const(const)
+        expr = part if expr is None else BinOp("+", expr, part)
+    return expr
+
+
+def relu_shift(value: Expr, shift: int) -> Expr:
+    """Expression computing ``relu(value) >> shift`` via the sign mask.
+
+    ``value`` appears twice in the result (once for the sign probe, once
+    masked), so pass a pure expression — a Load or Var. Needing no
+    scalar temporary keeps the NN kernels inside the register file's
+    pinned-name budget."""
+    # 0 - sign bit -> all-ones when negative; complement keeps
+    # non-negative values and zeroes negative ones (ReLU).
+    keep = BinOp(
+        "^",
+        BinOp("-", Const(0), BinOp(">>", value, Const(31))),
+        Const(MASK32),
+    )
+    result: Expr = BinOp("&", value, keep)
+    if shift:
+        result = BinOp(">>", result, Const(shift))
+    return result
+
+
+def running_max(acc: str, diff: str, value: Expr) -> List[Assign]:
+    """Statements folding ``value`` into the running maximum in ``acc``.
+
+    Uses the branch-free two's-complement select; callers must declare
+    both scalar names. Magnitudes must stay below 2**31."""
+    return [
+        Assign(diff, BinOp("-", Var(acc), value)),
+        # All-ones when acc < value (the subtraction went negative),
+        # selecting value; zero keeps acc.
+        Assign(diff, BinOp("-", Const(0), BinOp(">>", Var(diff), Const(31)))),
+        Assign(
+            acc,
+            BinOp("^", Var(acc), BinOp("&", BinOp("^", Var(acc), value), Var(diff))),
+        ),
+    ]
+
+
+def signed32(value: int) -> int:
+    """Interpret a 32-bit residue as a two's-complement integer."""
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def decode_signed(values: Sequence[int], scale: float) -> List[float]:
+    """Decode raw 32-bit accumulator residues to floats via ``/ scale``."""
+    return [signed32(v) / scale for v in values]

@@ -1,0 +1,124 @@
+"""Pool: an average/max pooling pyramid over a sensor image.
+
+Two pooling stages, both progressive under anytime execution:
+
+* **Average pool** (the SWP-fissioned stage): 2x2 stride-2 windows
+  computed as a strided convolution with four uniform fixed-point taps
+  summing to 2**FRAC_BITS — a multiply per pixel, which is what lets
+  the subword pass pipeline the image bit-planes.
+* **Max pool** (epilogue): 2x2 stride-2 maxima over the *averaged* map,
+  computed with the branch-free two's-complement max (the datapath has
+  no compare instruction). The pass clones this stage into every
+  subword phase, so the maxima refine as the averages do.
+
+No classifier here, so quality is NRMSE-only; the stage pair is the
+building block the CNN workload composes with convolution.
+
+Register-budget note: the register file pins one register per array,
+scalar and loop-variable name, so both pooled maps share one
+non-volatile ``POOL`` arena (averages, then maxima) and the max stage
+reuses the average stage's loop-variable names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..compiler.ir import Array, Assign, BinOp, Const, Kernel, Load, Loop, Pragma, Store, Var
+from .base import Workload, check_scale
+from .data import synthetic_image
+from .nnops import affine, running_max
+
+FRAC_BITS = 8
+
+#: Input image side per scale (divisible by 4: two halving stages).
+SIDES = {"tiny": 8, "default": 12, "paper": 32}
+
+
+def build_kernel(side: int, bits: int = 8) -> Kernel:
+    """POOL = [2x2 fixed-point average of X | 2x2 max of the averages]."""
+    mid = side // 2
+    out = mid // 2
+    max_base = mid * mid
+    avg = Loop("i", 0, mid, [
+        Loop("j", 0, mid, [
+            Assign("acc", Const(0)),
+            Loop("wy", 0, 2, [
+                Loop("wx", 0, 2, [
+                    Assign(
+                        "acc",
+                        BinOp(
+                            "+",
+                            Var("acc"),
+                            BinOp(
+                                "*",
+                                Load("Q", affine(("wy", 2), ("wx", 1))),
+                                Load(
+                                    "X",
+                                    affine(
+                                        ("i", 2 * side), ("wy", side), ("j", 2), ("wx", 1)
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ]),
+            ]),
+            Store("POOL", affine(("i", mid), ("j", 1)), Var("acc")),
+        ]),
+    ])
+    # Loop vars i/j and scalar "acc" are reused from the average stage:
+    # the register file pins one register per unique name.
+    peak = Loop("i", 0, out, [
+        Loop("j", 0, out, [
+            Assign("best", Load("POOL", affine(("i", 2 * mid), ("j", 2)))),
+            *running_max(
+                "best", "acc", Load("POOL", affine(("i", 2 * mid), ("j", 2), const=1))
+            ),
+            *running_max(
+                "best", "acc", Load("POOL", affine(("i", 2 * mid), ("j", 2), const=mid))
+            ),
+            *running_max(
+                "best",
+                "acc",
+                Load("POOL", affine(("i", 2 * mid), ("j", 2), const=mid + 1)),
+            ),
+            Store("POOL", affine(("i", out), ("j", 1), const=max_base), Var("best")),
+        ]),
+    ])
+    return Kernel(
+        name="pool",
+        arrays={
+            "X": Array("X", side * side, 16, "input", pragma=Pragma("asp", bits)),
+            "Q": Array("Q", 4, 16, "input"),
+            "POOL": Array("POOL", mid * mid + out * out, 32, "output"),
+        },
+        body=[avg, peak],
+        scalars=("acc", "best"),
+    )
+
+
+def decode(outputs: Dict[str, List[int]]) -> List[float]:
+    """Both pooled maps back to pixel units (taps sum to 2**FRAC_BITS)."""
+    scale = float(1 << FRAC_BITS)
+    return [v / scale for v in outputs["POOL"]]
+
+
+def make(scale: str = "default", seed: int = 7, bits: int = 8) -> Workload:
+    """Build the pooling workload on a seeded 16-bit sensor image."""
+    check_scale(scale)
+    side = SIDES[scale]
+    quarter = (1 << FRAC_BITS) // 4
+    return Workload(
+        name="Pool",
+        area="NN Inference",
+        description=f"2x2 avg + 2x2 max pooling pyramid on a {side}x{side} image",
+        technique="swp",
+        kernel=build_kernel(side, bits),
+        inputs={
+            "X": synthetic_image(side, side, seed, depth_bits=16),
+            "Q": [quarter] * 4,
+        },
+        decode=decode,
+        params={"side": side, "mid": side // 2, "out": side // 4},
+    )

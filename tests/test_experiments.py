@@ -34,7 +34,8 @@ class TestRegistry:
             "ablation-watchdog", "ablation-runtimes",
             "energy-breakdown",
         }
-        assert set(EXPERIMENTS) == paper_artifacts | ablations
+        extensions = {"fig10-nn", "fig11-nn"}
+        assert set(EXPERIMENTS) == paper_artifacts | ablations | extensions
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(KeyError):
