@@ -187,6 +187,54 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _cmd_chaos_service(args) -> int:
+    """The host-level campaign behind ``chaos --service``.
+
+    Spawns real server subprocesses and SIGKILLs them at the job
+    journal's commit boundaries, tears journal/store files and corrupts
+    wire bytes; exit 0 only if the end-to-end oracle (no lost jobs, no
+    duplicates, byte-identical results) holds for every scenario."""
+    from .fault.service_chaos import (
+        run_service_campaign,
+        service_report_to_json,
+    )
+
+    scenarios = 50 if args.scenarios is None else args.scenarios
+
+    def narrate(index: int, total: int, scenario: dict) -> None:
+        point = scenario.get("point")
+        print(
+            f"  [{index + 1}/{total}] {scenario['kind']}"
+            f"{'' if point is None else f'@{point}'}",
+            flush=True,
+        )
+
+    print(f"service chaos campaign: seed={args.seed} scenarios={scenarios}")
+    report = run_service_campaign(
+        seed=args.seed, count=scenarios, progress=narrate
+    )
+    for kind in sorted(report["kinds"]):
+        print(f"  {kind:>16}: {report['kinds'][kind]}")
+    for point in sorted(report["kill_points"]):
+        print(f"  kill@{point:>11}: {report['kill_points'][point]}")
+    if not report["passed"]:
+        print(
+            f"{report['violation_count']} ORACLE VIOLATIONS:", file=sys.stderr
+        )
+        for violation in report["violations"]:
+            print(
+                f"  scenario {violation['index']} [{violation['kind']}/"
+                f"{violation['config']}] {violation['check']}: "
+                f"{violation['detail']}",
+                file=sys.stderr,
+            )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as file:
+            file.write(service_report_to_json(report))
+        print(f"wrote report {args.report}")
+    return 0 if report["passed"] else 1
+
+
 def cmd_chaos(args) -> int:
     """Seeded fault-injection campaign against the shipped runtimes.
 
@@ -196,9 +244,13 @@ def cmd_chaos(args) -> int:
     from .fault.campaign import report_to_json, run_campaign
     from .fault.mutants import MUTANTS
 
-    report = run_campaign(seed=args.seed, count=args.scenarios)
+    if args.service:
+        return _cmd_chaos_service(args)
+
+    scenarios = 500 if args.scenarios is None else args.scenarios
+    report = run_campaign(seed=args.seed, count=scenarios)
     print(
-        f"chaos campaign: seed={args.seed} scenarios={args.scenarios} "
+        f"chaos campaign: seed={args.seed} scenarios={scenarios} "
         f"runtimes={','.join(report['runtimes'])} "
         f"workloads={','.join(report['workloads'])}"
     )
@@ -222,7 +274,7 @@ def cmd_chaos(args) -> int:
     if args.mutants:
         for name in sorted(MUTANTS):
             mutant_report = run_campaign(
-                seed=args.seed, count=args.scenarios, mutant=name
+                seed=args.seed, count=scenarios, mutant=name
             )
             flagged = mutant_report["violation_count"] > 0
             invariants = sorted(
@@ -247,23 +299,52 @@ def cmd_serve(args) -> int:
 
     The store directory comes from ``--store`` or ``REPRO_STORE``;
     without either the service still runs but caches nothing (every
-    submission computes). See docs/SERVICE.md."""
+    submission computes). ``--journal`` (or ``REPRO_JOURNAL``) arms the
+    durable job journal and crash recovery. See docs/SERVICE.md."""
     import asyncio
     import os
 
+    from .errors import SocketInUseError
+    from .service.journal import JOURNAL_ENV, JOURNAL_FSYNC_ENV
     from .service.protocol import default_socket_path
     from .service.server import ExperimentService
 
+    def env_or(flag, name, cast):
+        if flag is not None:
+            return flag
+        raw = os.environ.get(name, "").strip()
+        if not raw:
+            return None
+        try:
+            return cast(raw)
+        except ValueError:
+            return None
+
     store_dir = args.store or os.environ.get("REPRO_STORE", "").strip() or None
+    journal_path = (
+        args.journal or os.environ.get(JOURNAL_ENV, "").strip() or None
+    )
+    journal_fsync = os.environ.get(JOURNAL_FSYNC_ENV, "").strip() not in (
+        "", "0", "false", "no",
+    )
     socket_path = None if args.port is not None else (
         args.socket or default_socket_path()
     )
-    service = ExperimentService(store_dir=store_dir, max_workers=args.workers)
+    service = ExperimentService(
+        store_dir=store_dir,
+        max_workers=args.workers,
+        journal_path=journal_path,
+        journal_fsync=journal_fsync,
+        job_timeout=env_or(args.job_timeout, "REPRO_JOB_TIMEOUT", float),
+        max_pending=env_or(args.max_pending, "REPRO_MAX_PENDING", int),
+        recover=args.recover,
+    )
 
     def announce(endpoint: str) -> None:
         print(
             f"repro service listening on {endpoint}; "
-            f"store {store_dir or 'disabled'}",
+            f"store {store_dir or 'disabled'}; "
+            f"journal {journal_path or 'disabled'}",
             flush=True,
         )
 
@@ -274,9 +355,60 @@ def cmd_serve(args) -> int:
                 on_ready=announce,
             )
         )
+    except SocketInUseError as exc:
+        print(
+            f"cannot bind: {exc} (another server owns the socket; "
+            "pick a different --socket or stop it first)",
+            file=sys.stderr,
+        )
+        return 1
     except KeyboardInterrupt:
         print("repro service stopped", file=sys.stderr)
     return 0
+
+
+def cmd_store(args) -> int:
+    """Inspect and repair the content-addressed result store.
+
+    ``store fsck`` verifies every entry parses, matches its filename
+    digest, carries the current schema version and an intact content
+    checksum; ``--repair`` quarantines defects (and sweeps tmp debris),
+    ``--gc`` deletes them outright. Exit 0 only when the store is
+    clean."""
+    import json
+    import os
+
+    from .store.cas import ResultStore
+
+    store_dir = args.store or os.environ.get("REPRO_STORE", "").strip() or None
+    if not store_dir:
+        print("no store: pass --store DIR or set REPRO_STORE", file=sys.stderr)
+        return 2
+    store = ResultStore(store_dir)
+    report = store.fsck(repair=args.repair, gc=args.gc)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["clean"] else 1
+    print(
+        f"store fsck {report['root']}: {report['checked']} entries checked, "
+        f"{report['ok']} ok, {report['defect_count']} defective, "
+        f"{len(report['tmp_debris'])} tmp debris"
+    )
+    for category, paths in report["defects"].items():
+        for path in paths:
+            print(f"  {category}: {path}", file=sys.stderr)
+    for path in report["quarantined"]:
+        print(f"  quarantined: {path}")
+    for path in report["deleted"]:
+        print(f"  deleted: {path}")
+    if report["clean"]:
+        print("store is clean")
+        return 0
+    print(
+        "store is DIRTY (re-run with --repair to quarantine, --gc to delete)",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def cmd_submit(args) -> int:
@@ -329,10 +461,18 @@ def cmd_submit(args) -> int:
             host=args.host,
             port=args.port,
             timeout=args.timeout,
+            retries=args.retries,
         ) as client:
             result = client.submit(
                 job, full=args.full,
                 on_event=None if args.json else narrate,
+                on_retry=None if args.json else (
+                    lambda attempt, exc, delay: print(
+                        f"  retry {attempt + 1}: {exc} "
+                        f"(backing off {delay:.2f}s)",
+                        file=sys.stderr,
+                    )
+                ),
             )
     except ServiceError as exc:
         print(f"service error: {exc}", file=sys.stderr)
@@ -585,6 +725,22 @@ def main(argv: Optional[list] = None) -> int:
     serve_parser.add_argument("--store", default=None,
                               help="result store directory (default: "
                                    "REPRO_STORE; unset disables caching)")
+    serve_parser.add_argument("--journal", default=None,
+                              help="durable job journal path (default "
+                                   "$REPRO_JOURNAL; unset = no journal)")
+    serve_parser.add_argument("--no-recover", dest="recover",
+                              action="store_false",
+                              help="skip replaying the journal's pending "
+                                   "jobs on boot")
+    serve_parser.add_argument("--job-timeout", type=float, default=None,
+                              help="per-job wall-clock watchdog in seconds "
+                                   "(default $REPRO_JOB_TIMEOUT; unset = "
+                                   "no watchdog)")
+    serve_parser.add_argument("--max-pending", type=int, default=None,
+                              help="bound on concurrent in-flight jobs; "
+                                   "overflow is load-shed with a typed "
+                                   "'busy' event (default "
+                                   "$REPRO_MAX_PENDING; unset = unbounded)")
     serve_parser.add_argument("--workers", type=int, default=None,
                               help="compute thread pool size "
                                    "(default: min(8, cpus))")
@@ -615,6 +771,10 @@ def main(argv: Optional[list] = None) -> int:
     submit_parser.add_argument("--port", type=int, default=None,
                                help="connect over TCP instead of the unix "
                                     "socket")
+    submit_parser.add_argument("--retries", type=int, default=None,
+                               help="resubmission attempts after a "
+                                    "disconnect or busy rejection "
+                                    "(default 5)")
     submit_parser.add_argument("--timeout", type=float, default=30.0,
                                help="connect timeout in seconds (retries "
                                     "until then)")
@@ -633,14 +793,42 @@ def main(argv: Optional[list] = None) -> int:
     chaos_parser.add_argument("--seed", type=int, default=20260806,
                               help="campaign seed (default 20260806); the "
                                    "same seed is byte-identical every run")
-    chaos_parser.add_argument("--scenarios", type=int, default=500,
-                              help="scenario count (default 500)")
+    chaos_parser.add_argument("--service", action="store_true",
+                              help="attack the experiment service host "
+                                   "(SIGKILL at journal boundaries, torn "
+                                   "files, wire corruption) instead of "
+                                   "the simulated device")
+    chaos_parser.add_argument("--scenarios", type=int, default=None,
+                              help="scenario count (default 500 device, "
+                                   "50 service)")
     chaos_parser.add_argument("--report", default=None,
                               help="write the full JSON report to this path")
     chaos_parser.add_argument("--mutants", action="store_true",
                               help="also run the deliberately broken mutant "
                                    "runtimes and fail unless each is flagged")
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="inspect and repair the content-addressed result store",
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command",
+                                            required=True)
+    fsck_parser = store_sub.add_parser(
+        "fsck",
+        help="verify every entry's digest, schema and content checksum",
+    )
+    fsck_parser.add_argument("--store", default=None,
+                             help="store directory (default $REPRO_STORE)")
+    fsck_parser.add_argument("--repair", action="store_true",
+                             help="quarantine defective entries and sweep "
+                                  "tmp debris")
+    fsck_parser.add_argument("--gc", action="store_true",
+                             help="delete defective entries, tmp debris and "
+                                  "the quarantine outright")
+    fsck_parser.add_argument("--json", action="store_true",
+                             help="emit the full report as JSON")
+    fsck_parser.set_defaults(func=cmd_store)
 
     bench_parser = subparsers.add_parser(
         "bench",

@@ -22,7 +22,12 @@ The hierarchy::
     ├── IncompleteRun             — a sample missed its simulated deadline
     ├── SampleTimeout             — a sample missed its wall-clock deadline
     ├── SkimStateError            — skim register protocol misuse
-    └── SupplyStateError          — power-supply FSM protocol misuse
+    ├── SupplyStateError          — power-supply FSM protocol misuse
+    └── ServiceError              — the experiment service failed a request
+        ├── ServiceBusy           — load shed; retry after ``retry_after``
+        ├── ServiceTimeout        — a read/compute deadline expired
+        ├── ServiceDisconnected   — the connection died mid-request
+        └── SocketInUseError      — the UDS path belongs to a live server
 
 :class:`~repro.power.supply.SupplyExhausted` (a dead harvest trace)
 subclasses :class:`ProgressStall`; it lives in :mod:`repro.power.supply`
@@ -100,3 +105,39 @@ class SkimStateError(ReproError):
 class SupplyStateError(ReproError):
     """The power-supply FSM was driven out of protocol (e.g. beginning
     a tick while the supply is off)."""
+
+
+class ServiceError(ReproError):
+    """The experiment service answered a request with an error event,
+    or broke protocol. Historically lived in ``repro.service.client``
+    (as a bare ``RuntimeError`` subclass); the old import path remains
+    as a backwards-compatible alias."""
+
+
+class ServiceBusy(ServiceError):
+    """The server shed this submission under load (bounded in-flight
+    queue). Carries the server's ``retry_after`` hint in seconds; the
+    resilient client backs off and resubmits automatically."""
+
+    def __init__(self, message: str, retry_after: Optional[float] = None, **context):
+        self.retry_after = retry_after
+        super().__init__(message, retry_after=retry_after, **context)
+
+
+class ServiceTimeout(ServiceError):
+    """A service deadline expired: the client's socket read deadline
+    (``REPRO_CLIENT_TIMEOUT``) or the server's per-job wall-clock
+    watchdog (``REPRO_JOB_TIMEOUT``); ``side=client``/``side=server``
+    context distinguishes the two."""
+
+
+class ServiceDisconnected(ServiceError):
+    """The connection died mid-request (server crash, reset, or EOF).
+
+    Retryable by design: submissions are idempotent store-first
+    operations, so the client reconnects and resubmits."""
+
+
+class SocketInUseError(ServiceError):
+    """``serve`` refused to bind: the unix-socket path answers to a
+    live server. A dead leftover socket is unlinked instead."""

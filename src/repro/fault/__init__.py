@@ -12,6 +12,14 @@ prove the oracle can actually see a broken runtime.
 
 Everything is seeded: the same seed reproduces the same scenarios, the
 same injected faults and a byte-identical campaign report.
+
+:mod:`repro.fault.service_chaos` lifts the same discipline to the host
+level: seeded campaigns that SIGKILL real experiment-service
+subprocesses at the job journal's commit boundaries, tear journal and
+store files, and corrupt wire bytes — with an end-to-end oracle
+asserting no job is ever lost, duplicated, or answered with anything
+but the byte-identical direct result (``python -m repro chaos
+--service``).
 """
 
 from .campaign import generate_scenarios, run_campaign, run_scenario
@@ -26,6 +34,11 @@ from .plan import (
     OutageAtCycle,
     OutageAtRestore,
     OutageAtSkimArm,
+)
+from .service_chaos import (
+    generate_service_scenarios,
+    run_service_campaign,
+    run_service_scenario,
 )
 
 __all__ = [
@@ -46,7 +59,10 @@ __all__ = [
     "compute_golden",
     "fuzzed_traces",
     "generate_scenarios",
+    "generate_service_scenarios",
     "knife_edge_trace",
     "run_campaign",
     "run_scenario",
+    "run_service_campaign",
+    "run_service_scenario",
 ]

@@ -6,15 +6,27 @@ ExperimentService`; ``python -m repro submit`` talks to it through
 are documented in docs/SERVICE.md.
 """
 
-from .client import ServiceClient, ServiceError
+from .client import (
+    ServiceBusy,
+    ServiceClient,
+    ServiceDisconnected,
+    ServiceError,
+    ServiceTimeout,
+)
+from .journal import JobJournal, pending_jobs
 from .protocol import PROTOCOL_VERSION, JobSpec, default_socket_path
 from .server import ExperimentService
 
 __all__ = [
     "ExperimentService",
+    "JobJournal",
     "JobSpec",
     "PROTOCOL_VERSION",
+    "ServiceBusy",
     "ServiceClient",
+    "ServiceDisconnected",
     "ServiceError",
+    "ServiceTimeout",
     "default_socket_path",
+    "pending_jobs",
 ]

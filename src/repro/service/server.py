@@ -17,6 +17,29 @@ localhost TCP. The scheduler's contract:
   paper's skim-point answer, served before refinement — and the final
   ``result`` event once the full grid (batch engine preferred) is
   merged and persisted to the store.
+* **Durable accepts.** With a job journal armed (``REPRO_JOURNAL`` or
+  ``serve --journal``), every accepted compute is appended to the
+  journal *before* its first sample executes and marked done once the
+  store entry lands. A server killed anywhere in between replays the
+  pending accepts on the next boot (``--recover``, default on) —
+  idempotently, because jobs are content-addressed store-first
+  operations. This is the paper's commit-at-boundary discipline
+  applied to the service host itself.
+
+Hardening (all typed, none fatal to the process):
+
+* a per-job wall-clock **watchdog** (``REPRO_JOB_TIMEOUT``) converts a
+  hung compute into a ``job-timeout`` error event instead of a stuck
+  connection;
+* a bounded in-flight queue (``REPRO_MAX_PENDING``) **load-sheds**
+  overflow submissions with a ``busy`` error event carrying a
+  ``retry_after`` hint (the resilient client backs off and resubmits);
+* SIGTERM (and the ``shutdown`` op) triggers a **graceful drain**:
+  in-flight jobs finish and persist, everything else stays journaled
+  for the next boot;
+* a leftover unix-socket path from a crashed server is probed on bind
+  and unlinked when dead — but binding over a *live* server raises
+  :class:`~repro.errors.SocketInUseError` instead of hijacking it.
 
 Compute runs in a thread pool so the event loop stays responsive; the
 heavy lifting inside a job can itself fan out over processes via the
@@ -28,10 +51,14 @@ from __future__ import annotations
 
 import asyncio
 import os
+import signal
+import socket
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional
 
+from ..errors import SocketInUseError
 from ..store.cas import ResultStore
+from .journal import JobJournal
 from .jobs import JobContext, compute, prepare
 from .protocol import (
     PROTOCOL_VERSION,
@@ -39,6 +66,26 @@ from .protocol import (
     decode_message,
     encode_message,
 )
+
+#: Environment variable naming the host-level chaos kill point. When it
+#: matches a boundary name the server SIGKILLs itself there — the
+#: service chaos campaign (:mod:`repro.fault.service_chaos`) uses this
+#: to die deterministically at the nastiest journal boundaries.
+CHAOS_ENV = "REPRO_SERVICE_CHAOS"
+
+#: The journal boundaries the chaos campaign can kill at.
+CHAOS_POINTS = ("post-ack", "mid-compute", "post-store")
+
+
+def chaos_point(name: str) -> None:
+    """SIGKILL this process if ``REPRO_SERVICE_CHAOS`` names this point.
+
+    A no-op in normal operation (one env lookup); under the service
+    chaos campaign it models the host dying at an exact boundary —
+    after the journal accept, mid-compute, or after the store write but
+    before the journal done-marker."""
+    if os.environ.get(CHAOS_ENV, "") == name:
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 class _InflightJob:
@@ -78,14 +125,36 @@ class ExperimentService:
         self,
         store_dir: Optional[str] = None,
         max_workers: Optional[int] = None,
+        journal_path: Optional[str] = None,
+        journal_fsync: bool = False,
+        job_timeout: Optional[float] = None,
+        max_pending: Optional[int] = None,
+        recover: bool = True,
+        drain_timeout: float = 30.0,
     ) -> None:
         """``store_dir=None`` serves without a cache (every submission
-        computes); normal deployments point it at ``REPRO_STORE``."""
+        computes); normal deployments point it at ``REPRO_STORE``.
+        ``journal_path`` arms the durable job journal (``recover=True``
+        replays its pending accepts on boot); ``job_timeout`` is the
+        per-job wall-clock watchdog in seconds; ``max_pending`` bounds
+        concurrent in-flight computations (overflow is load-shed with a
+        typed ``busy`` event); ``drain_timeout`` bounds the graceful
+        drain on shutdown."""
         self.store = ResultStore(store_dir) if store_dir else None
         self.pool = ThreadPoolExecutor(
             max_workers=max_workers or min(8, (os.cpu_count() or 2)),
             thread_name_prefix="repro-job",
         )
+        self.journal = (
+            JobJournal(journal_path, fsync=journal_fsync)
+            if journal_path else None
+        )
+        self.job_timeout = job_timeout
+        self.max_pending = max_pending
+        self.recover = recover
+        self.drain_timeout = drain_timeout
+        #: ``retry_after`` hint (seconds) sent with load-shed rejections.
+        self.busy_retry_after = 0.5
         self.inflight: Dict[str, _InflightJob] = {}
         self.counters = {
             "submissions": 0,
@@ -93,9 +162,14 @@ class ExperimentService:
             "inflight_dedups": 0,
             "computed": 0,
             "errors": 0,
+            "busy_rejections": 0,
+            "job_timeouts": 0,
+            "recovered": 0,
         }
         self._lock = asyncio.Lock()
         self._stop: Optional[asyncio.Event] = None
+        self._draining = False
+        self._job_tasks: set = set()
 
     # -- stats -------------------------------------------------------------
 
@@ -104,9 +178,11 @@ class ExperimentService:
         payload = {
             "protocol": PROTOCOL_VERSION,
             "inflight": len(self.inflight),
+            "draining": self._draining,
             **self.counters,
         }
         payload["store"] = self.store.stats() if self.store else None
+        payload["journal"] = self.journal.stats() if self.journal else None
         return payload
 
     # -- submission path ---------------------------------------------------
@@ -126,6 +202,12 @@ class ExperimentService:
         if full:
             event["runs"] = payload.get("runs")
         return event
+
+    def _track(self, task: "asyncio.Future") -> "asyncio.Future":
+        """Register a job task so the graceful drain can await it."""
+        self._job_tasks.add(task)
+        task.add_done_callback(self._job_tasks.discard)
+        return task
 
     async def submit(
         self,
@@ -155,6 +237,7 @@ class ExperimentService:
         queue: Optional[asyncio.Queue] = None
         cached_payload: Optional[dict] = None
         deduped = False
+        shed: Optional[str] = None
         async with self._lock:
             # Store lookup under the lock: entries are small JSON files,
             # and the lock guarantees a just-finished job (which writes
@@ -169,11 +252,38 @@ class ExperimentService:
                 if job is not None:
                     deduped = True
                     self.counters["inflight_dedups"] += 1
+                elif self._draining:
+                    shed = "draining: finishing in-flight jobs"
+                elif (
+                    self.max_pending is not None
+                    and len(self.inflight) >= self.max_pending
+                ):
+                    shed = (
+                        f"busy: {len(self.inflight)} jobs in flight "
+                        f"(limit {self.max_pending})"
+                    )
                 else:
+                    # Durable boundary: the accept hits the journal
+                    # before any compute is scheduled, so a crash from
+                    # here on is recoverable.
+                    if self.journal is not None:
+                        self.journal.accept(ctx.fingerprint, spec.to_dict())
                     job = _InflightJob(ctx.fingerprint)
                     self.inflight[ctx.fingerprint] = job
-                    asyncio.ensure_future(self._run_job(job, ctx))
-                queue = job.subscribe()
+                    self._track(asyncio.ensure_future(self._run_job(job, ctx)))
+                if shed is None:
+                    queue = job.subscribe()
+        if shed is not None:
+            self.counters["busy_rejections"] += 1
+            await emit(
+                {
+                    "event": "error",
+                    "code": "busy",
+                    "error": f"server {shed}; resubmit later",
+                    "retry_after": self.busy_retry_after,
+                }
+            )
+            return
 
         await emit(
             {
@@ -184,6 +294,7 @@ class ExperimentService:
                 "deduped": deduped,
             }
         )
+        chaos_point("post-ack")
         if cached_payload is not None:
             await emit(self._result_event(cached_payload, "store", full))
             return
@@ -197,23 +308,54 @@ class ExperimentService:
                 return
 
     async def _run_job(self, job: _InflightJob, ctx: JobContext) -> None:
-        """Compute one distinct fingerprint and broadcast its events."""
+        """Compute one distinct fingerprint and broadcast its events.
+
+        The watchdog (``job_timeout``) bounds the whole compute+persist
+        path: a hung job broadcasts a typed ``job-timeout`` error event
+        and is retired in the journal (a ``fail`` record — recovery
+        must not replay a job that can never finish)."""
         loop = asyncio.get_running_loop()
 
         def progress(stage: str, data: dict) -> None:
             # Called from the worker thread; hop onto the loop.
+            chaos_point("mid-compute")
             loop.call_soon_threadsafe(
                 job.publish, {"event": "progressive", "stage": stage, **data}
             )
 
         try:
-            payload = await loop.run_in_executor(self.pool, compute, ctx, progress)
+            future = loop.run_in_executor(self.pool, compute, ctx, progress)
+            if self.job_timeout is not None:
+                payload = await asyncio.wait_for(future, timeout=self.job_timeout)
+            else:
+                payload = await future
             if self.store is not None:
                 await loop.run_in_executor(
                     self.pool, self.store.put, ctx.fingerprint, payload
                 )
+            chaos_point("post-store")
+        except asyncio.TimeoutError:
+            self.counters["job_timeouts"] += 1
+            self.counters["errors"] += 1
+            if self.journal is not None:
+                self.journal.fail(ctx.fingerprint, "job-timeout")
+            async with self._lock:
+                self.inflight.pop(ctx.fingerprint, None)
+            job.finish(
+                {
+                    "event": "error",
+                    "code": "job-timeout",
+                    "error": (
+                        f"job exceeded its {self.job_timeout}s "
+                        "wall-clock budget"
+                    ),
+                }
+            )
+            return
         except Exception as exc:  # noqa: BLE001 — surfaced to the client
             self.counters["errors"] += 1
+            if self.journal is not None:
+                self.journal.fail(ctx.fingerprint, type(exc).__name__)
             async with self._lock:
                 self.inflight.pop(ctx.fingerprint, None)
             job.finish(
@@ -221,11 +363,58 @@ class ExperimentService:
             )
             return
         self.counters["computed"] += 1
+        # Done-marker only after the store entry landed: a crash between
+        # the two replays the job, which resolves to a store hit.
+        if self.journal is not None:
+            self.journal.done(ctx.fingerprint)
         async with self._lock:
             # Store write happened above, so a submission that misses
             # the (now absent) inflight entry hits the store instead.
             self.inflight.pop(ctx.fingerprint, None)
         job.finish({"event": "result", "source": "computed", "payload": payload})
+
+    # -- crash recovery ----------------------------------------------------
+
+    async def _recover(self) -> None:
+        """Replay the journal's pending accepts into the scheduler.
+
+        Runs once on boot (``recover=True`` and a journal armed). Each
+        pending job is re-prepared — deterministic, so the fingerprint
+        matches — and resolved store-first: already-persisted results
+        are just marked done, everything else computes exactly like a
+        fresh submission (no subscribers; late clients dedup onto it or
+        hit the store). Idempotent under duplicate accepts and safe to
+        race with incoming submissions (the scheduler lock arbitrates)."""
+        assert self.journal is not None
+        pending = self.journal.pending()
+        self.journal.compact()
+        loop = asyncio.get_running_loop()
+        for fingerprint, job_dict in pending:
+            try:
+                spec = JobSpec.from_dict(job_dict)
+                ctx = await loop.run_in_executor(self.pool, prepare, spec)
+            except Exception as exc:  # noqa: BLE001 — poisoned record
+                self.journal.fail(fingerprint, f"unreplayable: {type(exc).__name__}")
+                continue
+            if ctx.fingerprint != fingerprint:
+                # The code/schema version moved between boots: the old
+                # accept can never complete under its old key. Retire it
+                # and re-accept under the current fingerprint.
+                self.journal.fail(fingerprint, "re-fingerprinted")
+                self.journal.accept(ctx.fingerprint, spec.to_dict())
+            async with self._lock:
+                if (
+                    self.store is not None
+                    and self.store.load(ctx.fingerprint) is not None
+                ):
+                    self.journal.done(ctx.fingerprint)
+                    continue
+                if ctx.fingerprint in self.inflight:
+                    continue
+                job = _InflightJob(ctx.fingerprint)
+                self.inflight[ctx.fingerprint] = job
+                self._track(asyncio.ensure_future(self._run_job(job, ctx)))
+            self.counters["recovered"] += 1
 
     # -- connection handling -----------------------------------------------
 
@@ -261,8 +450,7 @@ class ExperimentService:
                     await send(request_id, {"event": "stats", "stats": self.stats()})
                 elif op == "shutdown":
                     await send(request_id, {"event": "bye"})
-                    if self._stop is not None:
-                        self._stop.set()
+                    self.begin_drain()
                     break
                 elif op == "submit":
                     task = asyncio.ensure_future(
@@ -288,6 +476,63 @@ class ExperimentService:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Start a graceful drain: refuse new compute, finish in-flight.
+
+        Wired to SIGTERM (when the loop runs in the main thread) and to
+        the ``shutdown`` op. New submissions that would start a compute
+        are load-shed with a ``busy`` event; store hits and dedup
+        subscriptions still answer. Jobs that outlive ``drain_timeout``
+        stay journaled for the next boot."""
+        self._draining = True
+        if self._stop is not None:
+            self._stop.set()
+
+    @staticmethod
+    def _prepare_socket_path(path: str) -> None:
+        """Probe a leftover unix-socket path before binding.
+
+        A path that *answers* belongs to a live server — refuse with a
+        typed :class:`~repro.errors.SocketInUseError` rather than
+        unlinking it from under its clients. A path that refuses the
+        connection (or is not a socket at all) is debris from a crashed
+        server and is unlinked."""
+        if not os.path.exists(path):
+            return
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(1.0)
+        try:
+            probe.connect(path)
+        except OSError:
+            # ECONNREFUSED / ENOTSOCK / timeout: a dead server's debris.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        else:
+            raise SocketInUseError(
+                "refusing to bind: socket answers to a live server",
+                path=path,
+            )
+        finally:
+            probe.close()
+
+    async def _drain_jobs(self) -> None:
+        """Await in-flight job tasks, bounded by ``drain_timeout``.
+
+        Anything still running at the deadline is cancelled on the loop
+        side; its journal accept (no done-marker) replays next boot."""
+        tasks = {task for task in self._job_tasks if not task.done()}
+        if not tasks:
+            return
+        _done, unfinished = await asyncio.wait(
+            tasks, timeout=self.drain_timeout
+        )
+        for task in unfinished:
+            task.cancel()
+
     async def serve(
         self,
         socket_path: Optional[str] = None,
@@ -295,19 +540,22 @@ class ExperimentService:
         port: Optional[int] = None,
         on_ready: Optional[Callable[[str], None]] = None,
     ) -> None:
-        """Bind and serve until a ``shutdown`` op (or cancellation).
+        """Bind and serve until a ``shutdown`` op, SIGTERM, or cancellation.
 
         Exactly one transport is used: the unix socket when
         ``socket_path`` is given, else TCP on ``host:port`` (``port=0``
         picks a free port — tests use this). ``on_ready`` receives a
-        human-readable endpoint description after binding."""
+        human-readable endpoint description after binding. With a
+        journal armed and ``recover=True``, pending accepts replay into
+        the scheduler right after binding."""
         self._stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, self.begin_drain)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main-thread loops (tests) have no signal access
         if socket_path is not None:
-            # A stale socket file from a dead server would fail the bind.
-            try:
-                os.unlink(socket_path)
-            except OSError:
-                pass
+            self._prepare_socket_path(socket_path)
             server = await asyncio.start_unix_server(self._handle, path=socket_path)
             endpoint = f"unix:{socket_path}"
         else:
@@ -317,11 +565,18 @@ class ExperimentService:
             endpoint = f"tcp:{bound[0]}:{bound[1]}"
         try:
             async with server:
+                if self.journal is not None and self.recover:
+                    self._track(asyncio.ensure_future(self._recover()))
                 if on_ready is not None:
                     on_ready(endpoint)
                 await self._stop.wait()
+                self._draining = True
+                server.close()
+                await self._drain_jobs()
         finally:
             self.pool.shutdown(wait=False, cancel_futures=True)
+            if self.journal is not None:
+                self.journal.close()
             if socket_path is not None:
                 try:
                     os.unlink(socket_path)

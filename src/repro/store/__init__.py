@@ -1,23 +1,27 @@
 """Content-addressed result store: the global cross-run cache.
 
 See :mod:`repro.store.cas` for the design and docs/SERVICE.md for the
-on-disk layout and invalidation rules.
+on-disk layout, invalidation rules, and the ``store fsck`` repair CLI.
 """
 
 from .cas import (
+    FSCK_DEFECTS,
     RESULT_SCHEMA_VERSION,
     STORE_ENV,
     ResultStore,
     code_schema_tag,
     config_fingerprint,
+    payload_checksum,
     result_payload,
 )
 
 __all__ = [
+    "FSCK_DEFECTS",
     "RESULT_SCHEMA_VERSION",
     "STORE_ENV",
     "ResultStore",
     "code_schema_tag",
     "config_fingerprint",
+    "payload_checksum",
     "result_payload",
 ]

@@ -49,7 +49,7 @@ from typing import Dict, Iterator, List, Optional
 #: every fingerprint (and the ``REPRO_RESUME`` key), so all existing
 #: cache entries become unreachable and recompute — stale caches
 #: self-invalidate instead of serving old-shape data.
-RESULT_SCHEMA_VERSION = 2  # v2: SampleRun grew the accuracy field
+RESULT_SCHEMA_VERSION = 3  # v3: entries carry a content checksum (fsck)
 
 #: Environment variable naming the store's root directory.
 STORE_ENV = "REPRO_STORE"
@@ -125,8 +125,9 @@ def result_payload(
     ``runs`` is the full sample list (every field, metrics and ledger
     included — the same dicts ``REPRO_RESUME`` persists); ``metrics``
     and ``ledger`` are the *merged* per-configuration rollups, stored
-    alongside so ``repro report --live`` renders without re-merging."""
-    return {
+    alongside so ``repro report --live`` renders without re-merging.
+    The embedded ``checksum`` pins the content for ``store fsck``."""
+    payload = {
         "schema": RESULT_SCHEMA_VERSION,
         "fingerprint": fingerprint,
         "config": config,
@@ -134,7 +135,35 @@ def result_payload(
         "metrics": metrics,
         "ledger": ledger,
     }
+    payload["checksum"] = payload_checksum(payload)
+    return payload
 
+
+def payload_checksum(payload: dict) -> str:
+    """Sha256 of an entry's *content* (config, runs, metrics, ledger).
+
+    Stored in the entry as ``checksum`` by :meth:`ResultStore.put`.
+    The fingerprint names *which configuration* an entry answers for;
+    the checksum pins *what the answer is*, so silent on-disk
+    corruption that still parses as JSON is detectable. Verified by
+    ``python -m repro store fsck`` (the hot ``load`` path only does the
+    cheap structural checks — torn/foreign/stale entries — by design)."""
+    body = {
+        key: payload.get(key) for key in ("config", "runs", "metrics", "ledger")
+    }
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+#: Defect categories ``fsck`` can report, in severity order.
+FSCK_DEFECTS = (
+    "torn",               # unparseable JSON (crash mid-write without rename)
+    "malformed",          # parses, but is not an entry-shaped object
+    "foreign",            # embedded fingerprint disagrees with the filename
+    "stale_schema",       # written by a different RESULT_SCHEMA_VERSION
+    "checksum_mismatch",  # content digest absent or wrong (bit rot)
+    "misplaced",          # entry filed under the wrong shard directory
+)
 
 #: Process-unique suffix counter for temp files: two writers in one
 #: process (service worker threads) must never share a temp path.
@@ -199,6 +228,8 @@ class ResultStore:
         tmp_path = path.parent / (
             f".{fingerprint}.{os.getpid()}.{next(_tmp_counter)}.tmp"
         )
+        if "checksum" not in payload:
+            payload = {**payload, "checksum": payload_checksum(payload)}
         with open(tmp_path, "w", encoding="utf-8") as file:
             json.dump(payload, file, separators=(",", ":"))
         os.replace(tmp_path, path)
@@ -239,3 +270,127 @@ class ResultStore:
             "misses": self.misses,
             "writes": self.writes,
         }
+
+    # -- fsck --------------------------------------------------------------
+
+    def quarantine_dir(self) -> Path:
+        """Where ``fsck --repair`` moves defective entries.
+
+        Quarantined files also gain a ``.quarantined`` suffix so the
+        ``*/*.json`` globs behind ``entries()``/``stats()``/``fsck()``
+        (which *do* descend into dot-directories) can never serve or
+        re-flag them."""
+        return self.root / ".quarantine"
+
+    def _classify(self, path: Path) -> str:
+        """The fsck category for one ``<shard>/<name>.json`` file."""
+        try:
+            with open(path, "r", encoding="utf-8") as file:
+                payload = json.load(file)
+        except (OSError, ValueError):
+            return "torn"
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("runs"), list
+        ):
+            return "malformed"
+        fingerprint = payload.get("fingerprint")
+        if fingerprint != path.stem:
+            return "foreign"
+        if payload.get("schema") != RESULT_SCHEMA_VERSION:
+            return "stale_schema"
+        if payload.get("checksum") != payload_checksum(payload):
+            return "checksum_mismatch"
+        if path.parent.name != fingerprint[:2]:
+            return "misplaced"
+        return "ok"
+
+    def fsck(self, repair: bool = False, gc: bool = False) -> dict:
+        """Verify every entry's digest/schema; optionally repair or gc.
+
+        Walks the whole store and classifies each ``*.json`` entry
+        (:data:`FSCK_DEFECTS`), plus leftover ``.tmp`` debris from
+        writers that died before their atomic rename. Actions:
+
+        * ``repair=True`` — move defective entries into
+          :meth:`quarantine_dir` (out of serving, kept for forensics)
+          and delete tmp debris;
+        * ``gc=True`` — delete defective entries, tmp debris *and* any
+          previously quarantined files outright.
+
+        Neither touches valid entries. Run against a quiesced store:
+        a live writer's in-progress temp file looks like debris.
+        Returns a deterministic report (sorted relative paths); the
+        store is ``clean`` when no defect remains in serving position."""
+        report: dict = {
+            "root": str(self.root),
+            "checked": 0,
+            "ok": 0,
+            "defects": {category: [] for category in FSCK_DEFECTS},
+            "tmp_debris": [],
+            "quarantined": [],
+            "deleted": [],
+            "clean": True,
+        }
+        if not self.root.is_dir():
+            return report
+
+        def act(path: Path, removable_only: bool = False) -> None:
+            """Apply the requested action to one defective file."""
+            relative = str(path.relative_to(self.root))
+            if gc:
+                try:
+                    path.unlink()
+                    report["deleted"].append(relative)
+                except OSError:
+                    pass
+            elif repair:
+                if removable_only:
+                    try:
+                        path.unlink()
+                        report["deleted"].append(relative)
+                    except OSError:
+                        pass
+                    return
+                self.quarantine_dir().mkdir(parents=True, exist_ok=True)
+                name = f"{path.name}.quarantined"
+                target = self.quarantine_dir() / name
+                suffix = 0
+                while target.exists():
+                    suffix += 1
+                    target = self.quarantine_dir() / f"{name}.{suffix}"
+                try:
+                    os.replace(path, target)
+                    report["quarantined"].append(relative)
+                except OSError:
+                    pass
+
+        for path in sorted(self.root.glob("*/*.json")):
+            report["checked"] += 1
+            category = self._classify(path)
+            if category == "ok":
+                report["ok"] += 1
+                continue
+            report["defects"][category].append(
+                str(path.relative_to(self.root))
+            )
+            act(path)
+        for path in sorted(self.root.glob("*/.*.tmp")):
+            report["tmp_debris"].append(str(path.relative_to(self.root)))
+            act(path, removable_only=True)
+        if gc and self.quarantine_dir().is_dir():
+            for path in sorted(self.quarantine_dir().iterdir()):
+                try:
+                    path.unlink()
+                    report["deleted"].append(
+                        str(path.relative_to(self.root))
+                    )
+                except OSError:
+                    pass
+        defect_count = sum(len(v) for v in report["defects"].values())
+        report["defect_count"] = defect_count
+        report["clean"] = defect_count == 0 or repair or gc
+        for paths in report["defects"].values():
+            paths.sort()
+        report["deleted"].sort()
+        report["quarantined"].sort()
+        return report

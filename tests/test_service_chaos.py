@@ -1,0 +1,89 @@
+"""Host-level chaos: real subprocess servers, real SIGKILLs.
+
+The service chaos harness (:mod:`repro.fault.service_chaos`) kills a
+``python -m repro serve`` process at each journal boundary (post-ack
+before compute, mid-compute, post-store before the done-marker), tears
+journal and store files, and corrupts wire bytes. Its oracle is the
+whole robustness claim: every submitted job eventually yields a result
+byte-identical to a direct in-process run, the journal drains to zero
+pending accepts (no lost jobs), and the store holds exactly one entry
+per configuration (no duplicates). These tests run one scenario of
+every family plus a small seeded campaign whose report must be
+byte-identical across re-runs.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fault.service_chaos import (
+    SERVICE_CONFIGS,
+    generate_service_scenarios,
+    run_service_campaign,
+    run_service_scenario,
+    service_report_to_json,
+)
+from repro.service.server import CHAOS_POINTS
+
+
+@pytest.mark.parametrize("point", CHAOS_POINTS)
+def test_sigkill_at_journal_boundary_recovers(point, tmp_path):
+    scenario = {
+        "index": 0, "kind": "kill", "config": 0, "point": point, "jobs": None,
+    }
+    assert run_service_scenario(scenario, tmp_path / "scenario") == []
+
+
+def test_sigkill_mid_compute_under_repro_jobs(tmp_path):
+    scenario = {
+        "index": 0, "kind": "kill", "config": 1,
+        "point": "mid-compute", "jobs": 2,
+    }
+    assert run_service_scenario(scenario, tmp_path / "scenario") == []
+
+
+@pytest.mark.parametrize("tear", ("truncate", "garbage"))
+def test_torn_journal_still_recovers(tear, tmp_path):
+    scenario = {
+        "index": 0, "kind": "torn-journal", "config": 0,
+        "point": "post-ack", "tear": tear,
+    }
+    assert run_service_scenario(scenario, tmp_path / "scenario") == []
+
+
+@pytest.mark.parametrize("tear", ("truncate", "tamper"))
+def test_torn_store_is_detected_and_healed(tear, tmp_path):
+    scenario = {"index": 0, "kind": "torn-store", "config": 1, "tear": tear}
+    assert run_service_scenario(scenario, tmp_path / "scenario") == []
+
+
+def test_wire_corruption_and_fragmentation_survive(tmp_path):
+    for scenario in (
+        {"index": 0, "kind": "wire-corrupt", "config": 0,
+         "garbage": [0x7B, 0x22, 0xFF, 0x00, 0x9C]},
+        {"index": 1, "kind": "wire-fragment", "config": 2, "fragments": 5},
+    ):
+        assert run_service_scenario(scenario, tmp_path / "scenario") == []
+
+
+def test_scenario_generation_is_seeded_and_covers_the_families():
+    a = generate_service_scenarios(99, 40)
+    b = generate_service_scenarios(99, 40)
+    assert a == b
+    kinds = {s["kind"] for s in a}
+    assert "kill" in kinds and len(kinds) >= 3
+    points = {s["point"] for s in a if s["kind"] == "kill"}
+    assert points == set(CHAOS_POINTS)
+    assert all(0 <= s["config"] < len(SERVICE_CONFIGS) for s in a)
+
+
+def test_small_campaign_passes_and_reports_deterministically(tmp_path):
+    first = run_service_campaign(
+        seed=11, count=6, workdir=Path(tmp_path / "a")
+    )
+    assert first["passed"], first["violations"]
+    assert first["scenarios"] == 6
+    second = run_service_campaign(
+        seed=11, count=6, workdir=Path(tmp_path / "b")
+    )
+    assert service_report_to_json(first) == service_report_to_json(second)

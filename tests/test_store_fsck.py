@@ -1,0 +1,165 @@
+"""``store fsck``: every defect category is detected, repair
+quarantines without touching valid entries, gc deletes outright, and
+the CLI round-trips with honest exit codes.
+"""
+
+import json
+
+from repro.__main__ import main
+from repro.store import cas
+from repro.store.cas import FSCK_DEFECTS, ResultStore
+
+
+def fingerprint(byte):
+    return (byte * 2) * 32  # 64 hex chars
+
+
+def seed_store(root):
+    store = ResultStore(str(root))
+    for byte in "abc":
+        fp = fingerprint(byte)
+        store.put(
+            fp, cas.result_payload(fp, {"workload": "X"}, [{"n": byte}])
+        )
+    return store
+
+
+def break_store(store):
+    """Plant one defect of every category plus tmp debris; returns the
+    expected category -> relative-path mapping."""
+    root = store.root
+    expected = {}
+
+    torn = store.path_for(fingerprint("a"))
+    torn.write_bytes(torn.read_bytes()[:20])
+    expected["torn"] = str(torn.relative_to(root))
+
+    malformed = store.path_for(fingerprint("b"))
+    malformed.write_text(json.dumps({"schema": 1, "runs": "not a list"}))
+    expected["malformed"] = str(malformed.relative_to(root))
+
+    foreign = store.path_for(fingerprint("c"))
+    payload = json.loads(foreign.read_text())
+    payload["fingerprint"] = fingerprint("d")
+    foreign.write_text(json.dumps(payload))
+    expected["foreign"] = str(foreign.relative_to(root))
+
+    stale = store.put(
+        fingerprint("e"),
+        cas.result_payload(fingerprint("e"), {"workload": "X"}, []),
+    )
+    payload = json.loads(stale.read_text())
+    payload["schema"] = cas.RESULT_SCHEMA_VERSION - 1
+    stale.write_text(json.dumps(payload))
+    expected["stale_schema"] = str(stale.relative_to(root))
+
+    rotted = store.put(
+        fingerprint("f"),
+        cas.result_payload(fingerprint("f"), {"workload": "X"}, [{"n": 1}]),
+    )
+    payload = json.loads(rotted.read_text())
+    payload["runs"][0]["n"] = 2  # silent bit rot: checksum now lies
+    rotted.write_text(json.dumps(payload))
+    expected["checksum_mismatch"] = str(rotted.relative_to(root))
+
+    right = store.put(
+        fingerprint("0"),
+        cas.result_payload(fingerprint("0"), {"workload": "X"}, []),
+    )
+    wrong_shard = root / "ff"
+    wrong_shard.mkdir(exist_ok=True)
+    misplaced = wrong_shard / right.name
+    right.rename(misplaced)
+    expected["misplaced"] = str(misplaced.relative_to(root))
+
+    debris = root / "aa" / ".dead-writer.1234.5.tmp"
+    debris.parent.mkdir(exist_ok=True)
+    debris.write_text("half a payload")
+    return expected
+
+
+class TestFsck:
+    def test_clean_store_is_clean(self, tmp_path):
+        store = seed_store(tmp_path / "store")
+        report = store.fsck()
+        assert report["clean"] is True
+        assert report["checked"] == report["ok"] == 3
+        assert report["defect_count"] == 0
+
+    def test_every_defect_category_is_detected(self, tmp_path):
+        store = seed_store(tmp_path / "store")
+        expected = break_store(store)
+        report = store.fsck()
+        assert set(expected) == set(FSCK_DEFECTS)
+        for category, path in expected.items():
+            assert report["defects"][category] == [path], category
+        assert report["defect_count"] == len(expected)
+        assert report["tmp_debris"] == ["aa/.dead-writer.1234.5.tmp"]
+        assert report["clean"] is False
+
+    def test_repair_quarantines_and_sweeps(self, tmp_path):
+        store = seed_store(tmp_path / "store")
+        break_store(store)
+        report = store.fsck(repair=True)
+        assert report["clean"] is True
+        assert len(report["quarantined"]) == report["defect_count"]
+        # Debris is deleted, not quarantined.
+        assert "aa/.dead-writer.1234.5.tmp" in report["deleted"]
+        # Quarantined files are renamed out of serving position...
+        names = [p.name for p in store.quarantine_dir().iterdir()]
+        assert names and all(n.endswith(".quarantined") for n in names)
+        # ...so a second pass sees a clean store with no defects.
+        after = store.fsck()
+        assert after["clean"] is True and after["defect_count"] == 0
+        # And the store never serves or counts them.
+        assert store.load(fingerprint("a")) is None
+        assert store.stats()["entries"] == after["checked"]
+
+    def test_gc_deletes_defects_and_quarantine(self, tmp_path):
+        store = seed_store(tmp_path / "store")
+        break_store(store)
+        store.fsck(repair=True)  # fill the quarantine first
+        break_store(seed_store(tmp_path / "store"))  # fresh defects
+        report = store.fsck(gc=True)
+        assert report["clean"] is True
+        assert not list(store.quarantine_dir().glob("*"))
+        assert store.fsck()["defect_count"] == 0
+
+    def test_valid_entries_survive_repair_untouched(self, tmp_path):
+        store = seed_store(tmp_path / "store")
+        good = store.load(fingerprint("a"))
+        (store.root / "zz").mkdir()
+        (store.root / "zz" / f"{fingerprint('9')}.json").write_text("{")
+        store.fsck(repair=True)
+        assert store.load(fingerprint("a")) == good
+
+
+class TestFsckCLI:
+    def test_exit_codes_and_repair_round_trip(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        store = seed_store(root)
+        assert main(["store", "fsck", "--store", str(root)]) == 0
+        assert "store is clean" in capsys.readouterr().out
+
+        break_store(store)
+        assert main(["store", "fsck", "--store", str(root)]) == 1
+        err = capsys.readouterr().err
+        assert "DIRTY" in err and "checksum_mismatch" in err
+
+        assert main(["store", "fsck", "--store", str(root), "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        assert main(["store", "fsck", "--store", str(root)]) == 0
+
+    def test_json_report(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        break_store(seed_store(root))
+        assert main(["store", "fsck", "--store", str(root), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["defect_count"] == 6
+        assert set(report["defects"]) == set(FSCK_DEFECTS)
+
+    def test_needs_a_store(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert main(["store", "fsck"]) == 2
+        assert "REPRO_STORE" in capsys.readouterr().err

@@ -8,7 +8,11 @@ slice twice, and asserts:
   event arriving before each final result);
 * round 2 is pure store hits, byte-identical to round 1;
 * both match a direct in-process run of the same grid;
-* the server's stats agree (computed == configs, no errors).
+* the server's stats agree (computed == configs, no errors);
+* after a forced SIGKILL + restart (same socket, store and journal),
+  the *same client* reconnects and resubmits automatically, the answer
+  is byte-identical, and the journal holds no pending accepts;
+* ``python -m repro store fsck`` reports the served store clean.
 
 Writes the server's final stats JSON to ``--out`` for the CI artifact.
 Exits non-zero on any violation. Run from the repo root:
@@ -76,6 +80,16 @@ def submit_round(client):
     return sources, runs, previews
 
 
+def spawn_server(socket_path, store_dir, journal_path):
+    """One `python -m repro serve` subprocess with the journal armed."""
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--socket", socket_path, "--store", store_dir,
+         "--journal", journal_path],
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="store_stats.json",
@@ -83,23 +97,43 @@ def main() -> int:
     args = parser.parse_args()
 
     from repro.service.client import ServiceClient
+    from repro.service.journal import pending_jobs
 
     failures = []
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
         socket_path = os.path.join(tmp, "svc.sock")
         store_dir = os.path.join(tmp, "store")
-        server = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve",
-             "--socket", socket_path, "--store", store_dir],
-            env={**os.environ, "PYTHONPATH": "src"},
+        journal_path = os.path.join(tmp, "journal.jsonl")
+        server = spawn_server(socket_path, store_dir, journal_path)
+        client = ServiceClient.connect(
+            socket_path, timeout=30, retries=8, backoff=0.1
         )
         try:
-            with ServiceClient.connect(socket_path, timeout=30) as client:
-                cold_sources, cold_runs, previews = submit_round(client)
-                warm_sources, warm_runs, _ = submit_round(client)
-                stats = client.stats()
-                client.shutdown()
+            cold_sources, cold_runs, previews = submit_round(client)
+            warm_sources, warm_runs, _ = submit_round(client)
+            stats = client.stats()
+
+            # Forced reconnect: SIGKILL the server mid-session, restart
+            # it on the same socket + store + journal, and resubmit on
+            # the SAME client object — the retry/backoff loop must
+            # redial and the answer must be identical (a store hit).
+            server.kill()
+            server.wait(timeout=30)
+            server = spawn_server(socket_path, store_dir, journal_path)
+            retry_sources, retry_runs, _ = submit_round(client)
+            if retry_sources != ["store"] * len(CONFIGS):
+                failures.append(
+                    f"post-restart round not pure store hits: {retry_sources}"
+                )
+            if retry_runs != cold_runs:
+                failures.append("post-restart results differ from cold run")
+            if pending_jobs(journal_path):
+                failures.append("journal left pending accepts after restart")
+            client.shutdown()
         finally:
+            client.close()
+            if server.poll() is None:
+                server.kill()
             server.wait(timeout=30)
 
         if cold_sources != ["computed"] * len(CONFIGS):
@@ -117,6 +151,15 @@ def main() -> int:
         if stats["store"]["entries"] != len(CONFIGS):
             failures.append(f"unexpected store stats: {stats['store']}")
 
+        # The store the service just wrote must pass fsck clean.
+        fsck = subprocess.run(
+            [sys.executable, "-m", "repro", "store", "fsck",
+             "--store", store_dir],
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        if fsck.returncode != 0:
+            failures.append("store fsck found defects in a served store")
+
         with open(args.out, "w", encoding="utf-8") as file:
             json.dump(stats, file, indent=2)
         print(f"service stats -> {args.out}: {json.dumps(stats)}")
@@ -125,7 +168,8 @@ def main() -> int:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:
         print(f"service smoke passed: {len(CONFIGS)} configs computed once, "
-              "resubmission served from the store, results identical")
+              "resubmission served from the store, forced reconnect "
+              "resumed cleanly, fsck clean")
     return 1 if failures else 0
 
 
